@@ -1,0 +1,116 @@
+// Command silcfm-experiments regenerates the tables and figures of the
+// paper's evaluation section (§V).
+//
+// Usage:
+//
+//	silcfm-experiments -which all
+//	silcfm-experiments -which fig7 -instr 1000000
+//	silcfm-experiments -which fig9 -workloads milc,lbm,mcf
+//
+// With -which all, the Figure 6 and Figure 7 sweeps are run once each and
+// shared by Figure 8 and the headline summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"silcfm/internal/config"
+	"silcfm/internal/harness"
+	"silcfm/internal/stats"
+)
+
+func main() {
+	var (
+		which = flag.String("which", "all", "experiment: table3, fig6, fig7, fig8, fig9, headline, all")
+		instr = flag.Uint64("instr", 1_000_000, "base instructions per core (scaled by MPKI class)")
+		wls   = flag.String("workloads", "", "comma-separated workload subset (default: all 14)")
+		par   = flag.Int("par", 0, "parallel simulations (default GOMAXPROCS)")
+		seed  = flag.Int64("seed", 0, "random seed")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	m := config.Default()
+	if *seed != 0 {
+		m.Seed = *seed
+	}
+	cfg := harness.ExpConfig{
+		Machine:      m,
+		InstrPerCore: *instr,
+		Parallelism:  *par,
+	}
+	if *wls != "" {
+		cfg.Workloads = strings.Split(*wls, ",")
+	}
+
+	emit := func(t *stats.Table) {
+		if *csv {
+			fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+	}
+	fail := func(name string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "silcfm-experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	timed := func(name string, f func()) {
+		t0 := time.Now()
+		f()
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(t0).Round(time.Second))
+	}
+
+	sel := strings.ToLower(*which)
+	all := sel == "all"
+
+	if all || sel == "table3" {
+		timed("table3", func() {
+			t, _, err := harness.TableIII(cfg)
+			fail("table3", err)
+			emit(t)
+		})
+	}
+
+	var f6, f7 *harness.SweepResult
+	if all || sel == "fig6" || sel == "headline" {
+		timed("fig6", func() {
+			sw, t, err := harness.Figure6(cfg)
+			fail("fig6", err)
+			f6 = sw
+			if all || sel == "fig6" {
+				emit(t)
+			}
+		})
+	}
+	if all || sel == "fig7" || sel == "fig8" || sel == "headline" {
+		timed("fig7", func() {
+			sw, t, err := harness.Figure7(cfg)
+			fail("fig7", err)
+			f7 = sw
+			if all || sel == "fig7" {
+				emit(t)
+			}
+		})
+	}
+	if all || sel == "fig8" {
+		emit(harness.Figure8(f7))
+	}
+	if all || sel == "fig9" {
+		timed("fig9", func() {
+			t, _, err := harness.Figure9(cfg)
+			fail("fig9", err)
+			emit(t)
+		})
+	}
+	if all || sel == "headline" {
+		h := harness.ComputeHeadline(f6, f7)
+		fmt.Println("Headline numbers (paper abstract):")
+		fmt.Println(h.String())
+	}
+}

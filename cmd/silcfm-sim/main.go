@@ -1,0 +1,123 @@
+// Command silcfm-sim runs one flat-memory simulation and prints its
+// statistics.
+//
+// Usage:
+//
+//	silcfm-sim -scheme silc -workload mcf -instr 1000000
+//	silcfm-sim -scheme silc -workload milc -compare   # also run the baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"silcfm"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", "silc", "scheme: base, rand, hma, cam, camp, pom, silc")
+		wl       = flag.String("workload", "mcf", "workload: "+strings.Join(silcfm.Workloads(), ", "))
+		instr    = flag.Uint64("instr", 1_000_000, "instructions per core")
+		scale    = flag.Bool("scale-instr", true, "scale instructions by MPKI class")
+		cores    = flag.Int("cores", 0, "core count (0 = Table II default of 16)")
+		nm       = flag.Uint64("nm", 0, "NM capacity in MiB (0 = default 128)")
+		fm       = flag.Uint64("fm", 0, "FM capacity in MiB (0 = default 512)")
+		seed     = flag.Int64("seed", 0, "random seed (0 = default)")
+		compare  = flag.Bool("compare", false, "also run the no-NM baseline and report speedup")
+		noLock   = flag.Bool("no-lock", false, "disable SILC-FM locking")
+		noBypass = flag.Bool("no-bypass", false, "disable SILC-FM bypassing")
+		ways     = flag.Int("ways", 4, "SILC-FM associativity (1, 2, 4)")
+		trace    = flag.String("trace", "", "replay a trace file instead of the synthetic workload")
+		mix      = flag.String("mix", "", "comma-separated heterogeneous mix (core i runs mix[i mod n])")
+		foot     = flag.Int("footscale", 0, "divide workload footprints by N (for small -nm/-fm machines)")
+	)
+	flag.Parse()
+
+	// When replaying a trace, the workload name defaults to the trace's
+	// own label unless -workload was given explicitly.
+	if *trace != "" {
+		explicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workload" {
+				explicit = true
+			}
+		})
+		if !explicit {
+			*wl = ""
+		}
+	}
+
+	opts := silcfm.Options{
+		Scheme:            silcfm.Scheme(*scheme),
+		Workload:          *wl,
+		TracePath:         *trace,
+		Mix:               splitNonEmpty(*mix),
+		InstrPerCore:      *instr,
+		ScaleInstrByClass: *scale,
+		Cores:             *cores,
+		NMCapacity:        *nm << 20,
+		FMCapacity:        *fm << 20,
+		FootprintScaleDen: *foot,
+		Seed:              *seed,
+	}
+	if *noLock || *noBypass || *ways != 4 {
+		f := silcfm.FullFeatures()
+		f.Locking = !*noLock
+		f.Bypass = !*noBypass
+		f.Ways = *ways
+		opts.SILC = &f
+	}
+
+	r, err := silcfm.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silcfm-sim:", err)
+		os.Exit(1)
+	}
+	printReport(r)
+
+	if *compare {
+		b := opts
+		b.Scheme = silcfm.Baseline
+		base, err := silcfm.Run(b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "silcfm-sim: baseline:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nbaseline cycles:    %d\n", base.Cycles)
+		fmt.Printf("speedup:            %.3f\n", r.SpeedupOver(base))
+		fmt.Printf("EDP vs baseline:    %.3f\n", r.EDP/base.EDP)
+	}
+}
+
+func printReport(r *silcfm.Report) {
+	fmt.Printf("workload:           %s\n", r.Workload)
+	fmt.Printf("scheme:             %s\n", r.Scheme)
+	fmt.Printf("instructions:       %d\n", r.Instructions)
+	fmt.Printf("execution cycles:   %d\n", r.Cycles)
+	fmt.Printf("avg MPKI/core:      %.2f\n", r.AvgMPKI)
+	fmt.Printf("access rate:        %.3f\n", r.AccessRate)
+	fmt.Printf("NM demand fraction: %.3f\n", r.NMDemandFraction)
+	fmt.Printf("migration overhead: %.2f bytes/demand byte\n", r.MigrationOverhead)
+	fmt.Printf("footprint:          %.1f MiB\n", float64(r.FootprintBytes)/(1<<20))
+	fmt.Printf("energy:             %.3f mJ   EDP: %.3g\n", r.EnergyNJ/1e6, r.EDP)
+	if r.Scheme == "silc" {
+		fmt.Printf("locks/unlocks:      %d / %d\n", r.Locks, r.Unlocks)
+		fmt.Printf("swaps in/out:       %d / %d\n", r.SwapsIn, r.SwapsOut)
+		fmt.Printf("bypassed:           %d\n", r.BypassedAccesses)
+		fmt.Printf("predictor accuracy: %.3f\n", r.PredictorAccuracy)
+	}
+	if r.Migrations > 0 {
+		fmt.Printf("migrations:         %d\n", r.Migrations)
+	}
+}
+
+// splitNonEmpty splits a comma-separated list, returning nil for "".
+func splitNonEmpty(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}

@@ -1,0 +1,114 @@
+// Command silcfm-trace captures synthetic workload reference streams into
+// trace files and inspects existing traces.
+//
+// Usage:
+//
+//	silcfm-trace -gen -workload mcf -n 1000000 -o mcf.sfmt
+//	silcfm-trace -inspect mcf.sfmt
+//	silcfm-trace -characterize          # profile all 14 synthetic workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"silcfm/internal/workload"
+)
+
+func main() {
+	var (
+		gen     = flag.Bool("gen", false, "generate a trace")
+		inspect = flag.String("inspect", "", "inspect a trace file")
+		char    = flag.Bool("characterize", false, "profile the synthetic workloads")
+		wl      = flag.String("workload", "mcf", "workload to capture")
+		n       = flag.Uint64("n", 1_000_000, "references to capture")
+		out     = flag.String("o", "", "output file (default <workload>.sfmt)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen:
+		if err := generate(*wl, *n, *out, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "silcfm-trace:", err)
+			os.Exit(1)
+		}
+	case *inspect != "":
+		if err := inspectFile(*inspect); err != nil {
+			fmt.Fprintln(os.Stderr, "silcfm-trace:", err)
+			os.Exit(1)
+		}
+	case *char:
+		characterizeAll(*n, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func generate(wl string, n uint64, out string, seed int64) error {
+	g, ok := workload.New(wl, seed)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", wl)
+	}
+	if out == "" {
+		out = wl + ".sfmt"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := workload.NewTraceWriter(f, wl)
+	if err != nil {
+		return err
+	}
+	var r workload.Ref
+	for i := uint64(0); i < n; i++ {
+		g.Next(&r)
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d references for %s to %s\n", w.Count(), wl, out)
+	return nil
+}
+
+func inspectFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rp, err := workload.LoadReplay(f)
+	if err != nil {
+		return err
+	}
+	p := workload.Characterize(rp.CloneAt(0, 1), rp.Len())
+	fmt.Printf("workload:      %s\n", rp.Name())
+	fmt.Printf("references:    %d (%.1f%% writes)\n", p.Refs, 100*p.WriteFrac)
+	fmt.Printf("instructions:  %d (%.1f per reference)\n", p.Instructions, p.MeanGap)
+	fmt.Printf("footprint:     %d pages (%.1f MiB), %d subblocks\n",
+		p.Pages, float64(p.FootprintBytes())/(1<<20), p.Subblocks)
+	fmt.Printf("spatial:       %.1f touched subblocks per touched page\n", p.SubblocksPerPage)
+	fmt.Printf("hot-set skew:  %.1f%% of references hit the 64 hottest pages\n", 100*p.Top64Share)
+	return nil
+}
+
+// characterizeAll profiles every Table III workload over n references.
+func characterizeAll(n uint64, seed int64) {
+	fmt.Printf("%-8s %6s %9s %9s %8s %8s %8s\n",
+		"name", "class", "pages", "spatial", "top64", "writes", "gap")
+	for _, name := range workload.Names {
+		g, _ := workload.New(name, seed)
+		params, _ := workload.Spec(name)
+		p := workload.Characterize(g, int(n))
+		fmt.Printf("%-8s %6s %9d %9.1f %7.1f%% %7.1f%% %8.1f\n",
+			name, params.Class, p.Pages, p.SubblocksPerPage,
+			100*p.Top64Share, 100*p.WriteFrac, p.MeanGap)
+	}
+}

@@ -1,0 +1,74 @@
+package silcfm_test
+
+import (
+	"fmt"
+	"log"
+
+	"silcfm"
+)
+
+// The basic workflow: run a scheme and the baseline, compare.
+func Example() {
+	base, err := silcfm.Run(silcfm.Options{Scheme: silcfm.Baseline, Workload: "milc"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	silc, err := silcfm.Run(silcfm.Options{Scheme: silcfm.SILCFM, Workload: "milc"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("speedup %.2fx at access rate %.2f\n", silc.SpeedupOver(base), silc.AccessRate)
+}
+
+// Feature ablation: disable the bypass governor (Figure 6's last step).
+func ExampleFeatures() {
+	f := silcfm.FullFeatures()
+	f.Bypass = false
+	r, err := silcfm.Run(silcfm.Options{
+		Scheme:   silcfm.SILCFM,
+		Workload: "milc",
+		SILC:     &f,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.BypassedAccesses) // always 0 with bypass disabled
+}
+
+// Parameter ablation: a stricter locking threshold.
+func ExampleTuning() {
+	r, err := silcfm.Run(silcfm.Options{
+		Scheme:   silcfm.SILCFM,
+		Workload: "xalanc",
+		Tuning:   &silcfm.Tuning{HotThreshold: 32},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Locks)
+}
+
+// Regenerating a paper figure at reduced scale.
+func ExampleFigure7() {
+	tbl, err := silcfm.Figure7(silcfm.ExperimentOptions{
+		InstrPerCore: 200_000,
+		Workloads:    []string{"milc", "lbm"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tbl)
+}
+
+// A heterogeneous multiprogrammed mix: odd cores run mcf, even cores milc.
+func ExampleOptions_mix() {
+	r, err := silcfm.Run(silcfm.Options{
+		Scheme:            silcfm.SILCFM,
+		Mix:               []string{"milc", "mcf"},
+		ScaleInstrByClass: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Workload) // "mix(milc,mcf)"
+}

@@ -1,0 +1,44 @@
+// Quickstart: simulate SILC-FM against the no-HBM baseline on one workload
+// and print the paper's figure of merit.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"silcfm"
+)
+
+func main() {
+	const wl = "milc"
+
+	fmt.Printf("simulating %s on the Table II machine (this takes a minute)...\n\n", wl)
+
+	base, err := silcfm.Run(silcfm.Options{
+		Scheme:       silcfm.Baseline,
+		Workload:     wl,
+		InstrPerCore: 1_000_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	silc, err := silcfm.Run(silcfm.Options{
+		Scheme:       silcfm.SILCFM,
+		Workload:     wl,
+		InstrPerCore: 1_000_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("no-NM baseline:  %12d cycles\n", base.Cycles)
+	fmt.Printf("SILC-FM:         %12d cycles\n", silc.Cycles)
+	fmt.Printf("speedup:         %.2fx\n\n", silc.SpeedupOver(base))
+	fmt.Printf("access rate:     %.3f of LLC misses serviced from near memory\n", silc.AccessRate)
+	fmt.Printf("NM demand share: %.3f (bypass targets 0.8)\n", silc.NMDemandFraction)
+	fmt.Printf("locked blocks:   %d locks, %d unlocks\n", silc.Locks, silc.Unlocks)
+	fmt.Printf("energy-delay:    %.2fx of baseline\n", silc.EDP/base.EDP)
+}

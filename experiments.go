@@ -1,0 +1,161 @@
+package silcfm
+
+import (
+	"silcfm/internal/config"
+	"silcfm/internal/harness"
+	"silcfm/internal/stats"
+)
+
+// ExperimentOptions sizes a paper-experiment sweep.
+type ExperimentOptions struct {
+	// InstrPerCore is the base per-core instruction target (default 1M),
+	// always scaled per workload class.
+	InstrPerCore uint64
+	// Workloads restricts the sweep (default: all 14 of Table III).
+	Workloads []string
+	// Parallelism caps concurrent simulations (default: GOMAXPROCS).
+	Parallelism int
+	// Cores / NMCapacity / FMCapacity override the Table II machine.
+	Cores      int
+	NMCapacity uint64
+	FMCapacity uint64
+	// FootprintScaleDen divides workload footprints (see Options).
+	FootprintScaleDen int
+	Seed              int64
+}
+
+func (o ExperimentOptions) expConfig() harness.ExpConfig {
+	m := config.Default()
+	if o.Cores > 0 {
+		m.Cores = o.Cores
+	}
+	if o.NMCapacity > 0 {
+		m.NM = config.HBM(o.NMCapacity)
+	}
+	if o.FMCapacity > 0 {
+		m.FM = config.DDR3(o.FMCapacity)
+	}
+	if o.Seed != 0 {
+		m.Seed = o.Seed
+	}
+	cfg := harness.ExpConfig{
+		Machine:      m,
+		InstrPerCore: o.InstrPerCore,
+		Workloads:    o.Workloads,
+		Parallelism:  o.Parallelism,
+	}
+	if o.FootprintScaleDen > 1 {
+		cfg.FootScaleNum, cfg.FootScaleDen = 1, o.FootprintScaleDen
+	}
+	return cfg
+}
+
+// Table mirrors one rendered experiment table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	text    string
+	csv     string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string { return t.text }
+
+// CSV renders the table as comma-separated values (header row first).
+func (t *Table) CSV() string { return t.csv }
+
+// Figure6 regenerates the paper's feature-breakdown figure: per-workload
+// speedups over the no-NM baseline for Random placement and for SILC-FM as
+// swap, locking, associativity and bypassing are enabled in turn.
+func Figure6(o ExperimentOptions) (*Table, error) {
+	_, tbl, err := harness.Figure6(o.expConfig())
+	if err != nil {
+		return nil, err
+	}
+	return wrap(tbl), nil
+}
+
+// Figure7 regenerates the scheme-comparison figure (rand, hma, cam, camp,
+// pom, silc speedups over the no-NM baseline).
+func Figure7(o ExperimentOptions) (*Table, error) {
+	_, tbl, err := harness.Figure7(o.expConfig())
+	if err != nil {
+		return nil, err
+	}
+	return wrap(tbl), nil
+}
+
+// Figure8 regenerates the demand-bandwidth-split figure: the fraction of
+// demand bytes serviced from NM per scheme (ideal 0.8 for the 4:1 machine).
+func Figure8(o ExperimentOptions) (*Table, error) {
+	sw, _, err := harness.Figure7(o.expConfig())
+	if err != nil {
+		return nil, err
+	}
+	return wrap(harness.Figure8(sw)), nil
+}
+
+// Figure9 regenerates the capacity-sensitivity figure: geometric-mean
+// speedups at NM = FM/16, FM/8 and FM/4.
+func Figure9(o ExperimentOptions) (*Table, error) {
+	tbl, _, err := harness.Figure9(o.expConfig())
+	if err != nil {
+		return nil, err
+	}
+	return wrap(tbl), nil
+}
+
+// TableIII reports each workload's measured MPKI class and footprint.
+func TableIII(o ExperimentOptions) (*Table, error) {
+	tbl, _, err := harness.TableIII(o.expConfig())
+	if err != nil {
+		return nil, err
+	}
+	return wrap(tbl), nil
+}
+
+// Headline summarizes the paper's abstract-level numbers: the per-feature
+// improvement stack, the gain over the best alternative scheme, and the
+// EDP delta.
+type Headline struct {
+	SwapOverStatic  float64 // paper: +55%
+	LockIncrement   float64 // paper: +11%
+	AssocIncrement  float64 // paper: +8%
+	BypassIncrement float64 // paper: +8%
+	TotalOverStatic float64 // paper: +82%
+	OverBestAlt     float64 // paper: +36%
+	BestAlt         string
+	EDPReduction    float64 // paper: 13%
+	Text            string
+}
+
+// ComputeHeadline runs the Figure 6 and Figure 7 sweeps and derives the
+// headline numbers.
+func ComputeHeadline(o ExperimentOptions) (*Headline, error) {
+	cfg := o.expConfig()
+	f6, _, err := harness.Figure6(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f7, _, err := harness.Figure7(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h := harness.ComputeHeadline(f6, f7)
+	return &Headline{
+		SwapOverStatic:  h.SwapOverStatic,
+		LockIncrement:   h.LockIncrement,
+		AssocIncrement:  h.AssocIncrement,
+		BypassIncrement: h.BypassIncrement,
+		TotalOverStatic: h.TotalOverStatic,
+		OverBestAlt:     h.OverBestAlt,
+		BestAlt:         h.BestAlt,
+		EDPReduction:    h.EDPReduction,
+		Text:            h.String(),
+	}, nil
+}
+
+func wrap(t *stats.Table) *Table {
+	return &Table{Title: t.Title, Columns: t.Columns, Rows: t.Rows, text: t.String(), csv: t.CSV()}
+}

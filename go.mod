@@ -1,0 +1,3 @@
+module silcfm
+
+go 1.22

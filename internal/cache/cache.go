@@ -1,0 +1,225 @@
+// Package cache implements the on-chip SRAM cache hierarchy of Table II:
+// per-core private L1 data caches and one shared L2 last-level cache,
+// set-associative with true-LRU replacement and write-back/write-allocate
+// semantics. The hierarchy's job in this reproduction is to filter the
+// reference stream into the LLC-miss stream that drives the flat-memory
+// schemes, and to account MPKI (Table III).
+//
+// Timing is additive hit latency; SRAM port contention is not modeled, as
+// in the paper's evaluation (which reports only cache latencies).
+package cache
+
+import (
+	"fmt"
+
+	"silcfm/internal/config"
+)
+
+// line is one cache line's metadata.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // larger = more recently used
+}
+
+// Cache is a single set-associative cache level.
+type Cache struct {
+	name     string
+	sets     uint64
+	ways     int
+	lineSize uint64
+	latency  uint64
+	lines    []line // sets*ways, row-major by set
+	clock    uint64 // LRU timestamp source
+
+	Hits, Misses, Writebacks uint64
+}
+
+// New builds a cache from its configuration.
+func New(name string, cfg config.CacheConfig) *Cache {
+	sets := cfg.Size / (cfg.LineSize * uint64(cfg.Ways))
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, sets))
+	}
+	return &Cache{
+		name:     name,
+		sets:     sets,
+		ways:     cfg.Ways,
+		lineSize: cfg.LineSize,
+		latency:  cfg.LatencyCyc,
+		lines:    make([]line, sets*uint64(cfg.Ways)),
+	}
+}
+
+// Latency returns the hit latency in CPU cycles.
+func (c *Cache) Latency() uint64 { return c.latency }
+
+// Sets returns the number of sets (for tests).
+func (c *Cache) Sets() uint64 { return c.sets }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	blk := addr / c.lineSize
+	return blk % c.sets, blk / c.sets
+}
+
+// Access performs a read or write lookup. On a miss it allocates the line,
+// evicting the LRU way. It returns hit, and for misses the evicted victim:
+// wbAddr/wbDirty describe a valid victim line that must be written back if
+// dirty.
+func (c *Cache) Access(addr uint64, write bool) (hit bool, victimAddr uint64, victimValid, victimDirty bool) {
+	set, tag := c.index(addr)
+	base := set * uint64(c.ways)
+	c.clock++
+
+	// Lookup.
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+uint64(w)]
+		if l.valid && l.tag == tag {
+			c.Hits++
+			l.lru = c.clock
+			if write {
+				l.dirty = true
+			}
+			return true, 0, false, false
+		}
+	}
+	c.Misses++
+
+	// Victim selection: invalid way first, else LRU.
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+uint64(w)]
+		if !l.valid {
+			victim = w
+			oldest = 0
+			break
+		}
+		if l.lru < oldest {
+			oldest = l.lru
+			victim = w
+		}
+	}
+	v := &c.lines[base+uint64(victim)]
+	victimValid = v.valid
+	victimDirty = v.valid && v.dirty
+	if victimValid {
+		victimAddr = (v.tag*c.sets + set) * c.lineSize
+		if victimDirty {
+			c.Writebacks++
+		}
+	}
+	*v = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	return false, victimAddr, victimValid, victimDirty
+}
+
+// Probe reports whether addr is present without updating state.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * uint64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+uint64(w)]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops addr if present, returning whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	base := set * uint64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+uint64(w)]
+		if l.valid && l.tag == tag {
+			d := l.dirty
+			l.valid = false
+			l.dirty = false
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// MissRate returns misses / accesses.
+func (c *Cache) MissRate() float64 {
+	t := c.Hits + c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(t)
+}
+
+// Outcome describes where a hierarchy access was satisfied.
+type Outcome int
+
+const (
+	HitL1 Outcome = iota
+	HitL2
+	MissLLC
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case HitL1:
+		return "L1"
+	case HitL2:
+		return "L2"
+	default:
+		return "memory"
+	}
+}
+
+// Hierarchy ties per-core L1s to a shared L2 (the LLC). Physical addresses
+// index both levels (the paper translates before the hierarchy; we do the
+// same so multiprogrammed instances contend realistically in the shared
+// LLC).
+type Hierarchy struct {
+	L1s []*Cache
+	L2  *Cache
+	// Writeback is invoked for dirty LLC victims; the memory system turns
+	// it into an FM/NM write. Set by the owner before use.
+	Writeback func(addr uint64)
+}
+
+// NewHierarchy builds the Table II hierarchy for n cores.
+func NewHierarchy(n int, l1 config.CacheConfig, l2 config.CacheConfig) *Hierarchy {
+	h := &Hierarchy{L2: New("L2", l2)}
+	for i := 0; i < n; i++ {
+		h.L1s = append(h.L1s, New(fmt.Sprintf("L1d%d", i), l1))
+	}
+	return h
+}
+
+// Access runs one reference from core through the hierarchy. It returns the
+// outcome and the accumulated SRAM latency in CPU cycles. LLC misses still
+// pay the full L1+L2 lookup latency before memory is consulted.
+func (h *Hierarchy) Access(core int, addr uint64, write bool) (Outcome, uint64) {
+	l1 := h.L1s[core]
+	lat := l1.Latency()
+	if hit, vAddr, vValid, vDirty := l1.Access(addr, write); hit {
+		return HitL1, lat
+	} else if vValid && vDirty {
+		// Dirty L1 victim is absorbed by L2 (write-back).
+		if h2, v2Addr, v2Valid, v2Dirty := h.L2.Access(vAddr, true); !h2 && v2Valid && v2Dirty {
+			h.writeback(v2Addr)
+		}
+	}
+	lat += h.L2.Latency()
+	hit, vAddr, vValid, vDirty := h.L2.Access(addr, write)
+	if !hit && vValid && vDirty {
+		h.writeback(vAddr)
+	}
+	if hit {
+		return HitL2, lat
+	}
+	return MissLLC, lat
+}
+
+func (h *Hierarchy) writeback(addr uint64) {
+	if h.Writeback != nil {
+		h.Writeback(addr)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+// bypassGovernor implements §III-E's bandwidth balancing: it tracks the NM
+// access rate over a sliding window and, when the rate exceeds the target
+// (0.8 for a 4:1 NM:FM bandwidth ratio), enables bypassing — new subblock
+// swaps stop and non-resident requests are serviced straight from FM, so
+// the otherwise-idle FM bandwidth contributes to system throughput. When
+// the rate falls back under the target, bypassing turns off.
+type bypassGovernor struct {
+	enabled bool // feature flag (Figure 6's +bypass step)
+	target  float64
+	window  uint64
+
+	misses uint64
+	nmHits uint64
+	active bool
+
+	toggles uint64
+}
+
+func newBypassGovernor(enabled bool, target float64) *bypassGovernor {
+	return &bypassGovernor{enabled: enabled, target: target, window: 2048}
+}
+
+// record notes one LLC miss and whether it was serviced from NM, and
+// re-evaluates the bypass decision at window boundaries.
+func (g *bypassGovernor) record(nm bool) {
+	if !g.enabled {
+		return
+	}
+	g.misses++
+	if nm {
+		g.nmHits++
+	}
+	if g.misses < g.window {
+		return
+	}
+	rate := float64(g.nmHits) / float64(g.misses)
+	next := rate > g.target
+	if next != g.active {
+		g.toggles++
+	}
+	g.active = next
+	g.misses, g.nmHits = 0, 0
+}
+
+// bypassing reports whether new swaps are currently suppressed.
+func (g *bypassGovernor) bypassing() bool { return g.enabled && g.active }

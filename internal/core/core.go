@@ -1,0 +1,485 @@
+// Package core implements SILC-FM, the paper's contribution (§III): a flat
+// NM+FM organization that remaps at large-block (2 KB) granularity but
+// moves data at subblock (64 B) granularity, interleaving subblocks of one
+// FM block into an NM frame under a per-frame bit vector. On top of the
+// base swap mechanism it provides the bit-vector history table (spatially
+// batched swap-ins), activity-counter-driven locking of hot blocks, set
+// associativity for the interleaved blocks, bandwidth-balancing bypass, and
+// a way/location predictor that hides metadata latency.
+//
+// Remap metadata lives in near memory (one 64-byte line per set holding all
+// four way entries, placed in rows beyond the data region so the paper's
+// "separate channel" row-buffer isolation is preserved); see DESIGN.md for
+// the fidelity notes.
+package core
+
+import (
+	"silcfm/internal/config"
+	"silcfm/internal/dram"
+	"silcfm/internal/mem"
+	"silcfm/internal/memunits"
+	"silcfm/internal/stats"
+)
+
+// metaEntrySize is one way's remap entry (remap address, bit vector,
+// counters, flags) as fetched on a predicted access.
+const metaEntrySize = 16
+
+// Controller is the SILC-FM scheme.
+type Controller struct {
+	sys *mem.System
+	cfg config.SILCConfig
+
+	nmBlocks uint64
+	fs       *frameSet
+	hist     *historyTable
+	pred     *predictor
+	gov      *bypassGovernor
+	// meta is the dedicated metadata channel (§III-D: "the metadata is
+	// stored in a separate channel to increase the NM row buffer hit rate
+	// of accessing metadata"): one HBM channel holding one 64-byte line of
+	// remap entries per set. Same-set metadata operations coalesce at the
+	// controller the way demand misses coalesce in MSHRs.
+	meta          *dram.Device
+	metaBgPend    map[uint64]bool // set -> metadata read queued
+	metaWritePend map[uint64]bool // set -> dirty-update already queued
+	// metaLatency is the serialized remap-entry check paid on the demand
+	// path without a correct way/location prediction (one unloaded NM
+	// metadata access; §III-F).
+	metaLatency uint64
+
+	ctrMax   uint32
+	accesses uint64
+
+	// Restores counts full interleaved-block restorations (victimization).
+	Restores uint64
+	// HistoryPrefetches counts subblocks swapped in by history replay.
+	HistoryPrefetches uint64
+}
+
+// New builds a SILC-FM controller over sys.
+func New(sys *mem.System, cfg config.SILCConfig) *Controller {
+	nmBlocks := memunits.BlocksIn(sys.NMCap)
+	ways := cfg.Features.Ways
+	if ways == 0 {
+		ways = 1
+	}
+	metaCfg := config.HBM(nmBlocks * 64)
+	metaCfg.Name = "HBM-meta"
+	metaCfg.Channels = 1
+	c := &Controller{
+		sys:           sys,
+		cfg:           cfg,
+		nmBlocks:      nmBlocks,
+		fs:            newFrameSet(nmBlocks, ways),
+		hist:          newHistoryTable(cfg.HistoryEntries),
+		pred:          newPredictor(cfg.PredictorEntries),
+		gov:           newBypassGovernor(cfg.Features.Bypass, cfg.BypassTarget),
+		meta:          dram.New(metaCfg, sys.Eng),
+		metaBgPend:    make(map[uint64]bool),
+		metaWritePend: make(map[uint64]bool),
+		ctrMax:        counterMax(cfg.CounterBits),
+	}
+	c.metaLatency = c.meta.UnloadedReadLatency()
+	return c
+}
+
+// MetaDeviceStats exposes the metadata channel's counters (for energy
+// accounting and tests).
+func (c *Controller) MetaDeviceStats() *dram.Stats { return c.meta.Stats() }
+
+// Name implements mem.Controller.
+func (c *Controller) Name() string { return "silc" }
+
+// nmLoc returns the device location of subblock idx of NM frame f.
+func (c *Controller) nmLoc(f uint64, idx uint) mem.Location {
+	return mem.Location{Level: stats.NM, DevAddr: memunits.SubblockAddr(f, idx)}
+}
+
+// fmHome returns the device location of subblock idx of flat FM block b.
+func (c *Controller) fmHome(b uint64, idx uint) mem.Location {
+	return mem.Location{Level: stats.FM, DevAddr: memunits.SubblockAddr(b-c.nmBlocks, idx)}
+}
+
+// Locate implements mem.Controller.
+func (c *Controller) Locate(pa uint64) mem.Location {
+	b := memunits.BlockOf(pa)
+	idx := memunits.SubblockIndex(pa)
+	if b < c.nmBlocks {
+		fr := &c.fs.frames[b]
+		if fr.remap != noRemap && fr.bits.Test(idx) {
+			return c.fmHome(fr.remap, idx)
+		}
+		return c.nmLoc(b, idx)
+	}
+	s := c.fs.setOf(b)
+	if f, ok := c.fs.findRemap(s, b); ok && c.fs.frames[f].bits.Test(idx) {
+		return c.nmLoc(f, idx)
+	}
+	return c.fmHome(b, idx)
+}
+
+// Handle implements mem.Controller.
+func (c *Controller) Handle(a *mem.Access) {
+	st := c.sys.Stats
+	st.LLCMisses++
+	c.accesses++
+	if c.cfg.AgingInterval > 0 && c.accesses%c.cfg.AgingInterval == 0 {
+		c.ageAndUnlock()
+	}
+
+	b := memunits.BlockOf(a.PAddr)
+	idx := memunits.SubblockIndex(a.PAddr)
+
+	// Way/location prediction decides whether the demand path waits for
+	// the serialized metadata fetch (§III-F).
+	actualNM, actualWay := c.actualLocation(b, idx)
+	serialized := true
+	if c.cfg.Features.Predictor {
+		pNM, pWay, ok := c.pred.predict(a.PC, a.PAddr)
+		if ok && pNM == actualNM && (!pNM || pWay == actualWay) {
+			st.PredictorHits++
+			serialized = false
+		} else {
+			st.PredictorMisses++
+		}
+		c.pred.update(a.PC, a.PAddr, actualNM, actualWay)
+	}
+
+	if serialized {
+		// Pay the serialized remap-entry fetch latency (§III-F: without a
+		// correct prediction, the way entries are checked in series before
+		// the data access; the predictor's saved time is this NM access
+		// latency). The metadata line transfer itself rides the dedicated
+		// channel off the demand queues.
+		c.readMeta(b, 64)
+		c.sys.Eng.After(c.metaLatency, func() { c.dispatch(a, b, idx) })
+		return
+	}
+	// Predicted: the verification fetch proceeds off the critical path.
+	c.readMeta(b, metaEntrySize)
+	c.dispatch(a, b, idx)
+}
+
+// readMeta charges block b's set-metadata transfer to the dedicated
+// channel. Reads of a set with one already in flight dedupe MSHR-style.
+// The demand-path cost of a metadata fetch is the fixed serialized latency
+// applied in Handle, not this queue.
+func (c *Controller) readMeta(b uint64, n uint64) {
+	s := c.fs.setOf(b)
+	if c.metaBgPend[s] {
+		return
+	}
+	c.metaBgPend[s] = true
+	c.sys.Stats.AddBytes(stats.NM, stats.Metadata, n)
+	c.meta.Submit(dram.Request{Addr: s * 64, Bytes: n, Background: true,
+		Done: func() { delete(c.metaBgPend, s) }})
+}
+
+// actualLocation computes where the requested subblock resides and, when in
+// NM, which way holds it.
+func (c *Controller) actualLocation(b uint64, idx uint) (inNM bool, way uint8) {
+	if b < c.nmBlocks {
+		fr := &c.fs.frames[b]
+		if fr.remap != noRemap && fr.bits.Test(idx) {
+			return false, 0
+		}
+		return true, uint8(c.fs.wayOf(b))
+	}
+	s := c.fs.setOf(b)
+	if f, ok := c.fs.findRemap(s, b); ok && c.fs.frames[f].bits.Test(idx) {
+		return true, uint8(c.fs.wayOf(f))
+	}
+	return false, 0
+}
+
+// dispatch runs the Table I state machine for one access.
+func (c *Controller) dispatch(a *mem.Access, b uint64, idx uint) {
+	if b < c.nmBlocks {
+		c.handleNMAddress(a, b, idx)
+	} else {
+		c.handleFMAddress(a, b, idx)
+	}
+}
+
+// handleNMAddress serves a request whose flat address belongs to the NM
+// space (Table I rows with "NM Address = yes" plus the remap-match row for
+// the home block).
+func (c *Controller) handleNMAddress(a *mem.Access, b uint64, idx uint) {
+	fr := &c.fs.frames[b]
+	fr.lastUse = c.sys.Eng.Now()
+	bump(&fr.nmCtr, c.ctrMax)
+	st := c.sys.Stats
+
+	swappedOut := fr.remap != noRemap && fr.bits.Test(idx)
+	if !swappedOut {
+		// Home subblock resident: service from NM.
+		c.serviceNM(a, c.nmLoc(b, idx))
+		c.maybeLockHome(b)
+		return
+	}
+	// The home subblock currently sits at the remapped block's FM home.
+	if fr.locked || c.gov.bypassing() {
+		// Locked frames keep the interleaved block pinned; under bypass no
+		// state changes either. Service from FM.
+		c.serviceFM(a, c.fmHome(fr.remap, idx))
+		c.maybeLockHome(b)
+		return
+	}
+	// Swap the home subblock back from FM (Table I: mismatch / bit 1 / NM
+	// address). The interleaved block's subblock returns to its FM home.
+	fr.bits.Clear(idx)
+	st.SwapsOut++
+	c.moveBetween(a, c.fmHome(fr.remap, idx), c.nmLoc(b, idx))
+	c.writeMetaUpdate(c.fs.setOf(b))
+	c.maybeLockHome(b)
+}
+
+// handleFMAddress serves a request whose flat address belongs to FM space.
+func (c *Controller) handleFMAddress(a *mem.Access, b uint64, idx uint) {
+	s := c.fs.setOf(b)
+	st := c.sys.Stats
+	f, found := c.fs.findRemap(s, b)
+	if found {
+		fr := &c.fs.frames[f]
+		fr.lastUse = c.sys.Eng.Now()
+		bump(&fr.fmCtr, c.ctrMax)
+		if fr.bits.Test(idx) {
+			// Table I row 1: remap match, bit set -> service from NM.
+			c.serviceNM(a, c.nmLoc(f, idx))
+			c.maybeLockRemap(f)
+			return
+		}
+		// Table I row 2: remap match, bit clear -> swap subblock from FM.
+		if c.gov.bypassing() {
+			st.BypassedAccesses++
+			c.serviceFM(a, c.fmHome(b, idx))
+			return
+		}
+		fr.bits.Set(idx)
+		st.SwapsIn++
+		c.moveBetween(a, c.fmHome(b, idx), c.nmLoc(f, idx))
+		c.writeMetaUpdate(s)
+		c.maybeLockRemap(f)
+		return
+	}
+
+	// No frame in the set holds this block: service from FM, then decide
+	// whether to start interleaving it (Table I rows 5/6 when a victim
+	// must first be restored).
+	c.serviceFM(a, c.fmHome(b, idx))
+	if c.gov.bypassing() {
+		st.BypassedAccesses++
+		return
+	}
+	v, ok := c.fs.victim(s)
+	if !ok {
+		return // every way locked
+	}
+	vf := &c.fs.frames[v]
+	if vf.remap != noRemap {
+		c.restore(v)
+		c.Restores++
+	}
+	vf.remap = b
+	vf.bits = 0
+	vf.fmCtr = 1
+	vf.lastUse = c.sys.Eng.Now()
+	vf.firstPC = a.PC
+	vf.firstAddr = a.PAddr
+
+	// Swap in the requested subblock (demand already serviced from FM; the
+	// residual traffic is the install + eviction exchange).
+	vf.bits.Set(idx)
+	st.SwapsIn++
+	c.sys.ExchangeSubblocks(c.fmHome(b, idx), c.nmLoc(v, idx), nil)
+
+	// Replay the bit vector history: previously useful subblocks swap in
+	// together (§III-A), the scheme's spatial-locality edge over CAMEO.
+	if c.cfg.Features.BitVecHistory {
+		vec := c.hist.lookup(a.PC, a.PAddr)
+		for i := uint(0); i < memunits.SubblocksPerBlock; i++ {
+			if i != idx && vec.Test(i) {
+				vf.bits.Set(i)
+				st.SwapsIn++
+				c.HistoryPrefetches++
+				c.sys.ExchangeSubblocks(c.fmHome(b, i), c.nmLoc(v, i), nil)
+			}
+		}
+	}
+	c.writeMetaUpdate(s)
+	c.maybeLockRemap(v)
+}
+
+// restore returns frame f's interleaved block to its FM home entirely,
+// saving the bit vector in the history table.
+func (c *Controller) restore(f uint64) {
+	fr := &c.fs.frames[f]
+	if fr.remap == noRemap {
+		return
+	}
+	c.hist.save(fr.firstPC, fr.firstAddr, fr.bits)
+	for i := uint(0); i < memunits.SubblocksPerBlock; i++ {
+		if fr.bits.Test(i) {
+			c.sys.Stats.SwapsOut++
+			c.sys.ExchangeSubblocks(c.nmLoc(f, i), c.fmHome(fr.remap, i), nil)
+		}
+	}
+	fr.remap = noRemap
+	fr.bits = 0
+	fr.fmCtr = 0
+	fr.locked = false
+	fr.lockHome = false
+}
+
+// maybeLockRemap locks frame f's interleaved FM block when its counter
+// crosses the hotness threshold, completing the large-block remap by
+// swapping in all missing subblocks (§III-C).
+func (c *Controller) maybeLockRemap(f uint64) {
+	if !c.cfg.Features.Locking {
+		return
+	}
+	fr := &c.fs.frames[f]
+	if fr.locked || fr.remap == noRemap || fr.fmCtr < c.cfg.HotThreshold || fr.fmCtr < fr.nmCtr {
+		return
+	}
+	for i := uint(0); i < memunits.SubblocksPerBlock; i++ {
+		if !fr.bits.Test(i) {
+			fr.bits.Set(i)
+			c.sys.Stats.SwapsIn++
+			c.sys.ExchangeSubblocks(c.fmHome(fr.remap, i), c.nmLoc(f, i), nil)
+		}
+	}
+	fr.locked = true
+	fr.lockHome = false
+	c.sys.Stats.Locks++
+	c.writeMetaUpdate(c.fs.setOf(f))
+}
+
+// maybeLockHome locks frame b to protect a hot home block from being
+// victimized by interleaving; any swapped-out home subblocks are restored
+// first.
+func (c *Controller) maybeLockHome(b uint64) {
+	if !c.cfg.Features.Locking {
+		return
+	}
+	fr := &c.fs.frames[b]
+	if fr.locked || fr.nmCtr < c.cfg.HotThreshold || fr.nmCtr < fr.fmCtr {
+		return
+	}
+	if fr.remap != noRemap {
+		c.restore(b)
+		c.Restores++
+	}
+	fr.locked = true
+	fr.lockHome = true
+	c.sys.Stats.Locks++
+	c.writeMetaUpdate(c.fs.setOf(b))
+}
+
+// ageAndUnlock right-shifts all activity counters and clears locks whose
+// block is no longer hot. An unlocked interleaved block keeps all its
+// subblocks resident (bits stay Full) and simply rejoins normal swapping
+// (§III-C).
+func (c *Controller) ageAndUnlock() {
+	c.fs.age()
+	if !c.cfg.Features.Locking {
+		return
+	}
+	for i := range c.fs.frames {
+		fr := &c.fs.frames[i]
+		if !fr.locked {
+			continue
+		}
+		hot := fr.fmCtr
+		if fr.lockHome {
+			hot = fr.nmCtr
+		}
+		// Unlock with hysteresis: a block must cool to half the locking
+		// threshold before it rejoins swapping, avoiding lock/unlock churn
+		// at the boundary.
+		if hot < c.cfg.HotThreshold/2 {
+			fr.locked = false
+			fr.lockHome = false
+			c.sys.Stats.Unlocks++
+		}
+	}
+}
+
+// serviceNM completes a demand access from near memory.
+func (c *Controller) serviceNM(a *mem.Access, loc mem.Location) {
+	c.gov.record(true)
+	c.sys.ServiceDemand(loc, a.Write, a.Done)
+}
+
+// serviceFM completes a demand access from far memory.
+func (c *Controller) serviceFM(a *mem.Access, loc mem.Location) {
+	c.gov.record(false)
+	c.sys.ServiceDemand(loc, a.Write, a.Done)
+}
+
+// moveBetween services the demand at src and installs the data at dst,
+// sending dst's previous contents back to src — the interleaved swap of
+// Figure 2, with the demand read doubling as the migration read.
+func (c *Controller) moveBetween(a *mem.Access, src, dst mem.Location) {
+	c.gov.record(src.Level == stats.NM)
+	if src.Level == stats.NM {
+		c.sys.Stats.ServicedNM++
+	} else {
+		c.sys.Stats.ServicedFM++
+	}
+	if a.Write {
+		// The new data lands directly at dst; dst's old contents move to
+		// src. No read of the overwritten subblock is needed.
+		c.sys.Write(dst, memunits.SubblockSize, stats.Demand, nil)
+		c.sys.Read(dst, memunits.SubblockSize, stats.Migration, func() {
+			c.sys.Write(src, memunits.SubblockSize, stats.Migration, nil)
+		})
+		if a.Done != nil {
+			a.Done()
+		}
+		return
+	}
+	done := a.Done
+	c.sys.Read(src, memunits.SubblockSize, stats.Demand, func() {
+		if done != nil {
+			done()
+		}
+		c.sys.Write(dst, memunits.SubblockSize, stats.Migration, nil)
+	})
+	c.sys.Read(dst, memunits.SubblockSize, stats.Migration, func() {
+		c.sys.Write(src, memunits.SubblockSize, stats.Migration, nil)
+	})
+}
+
+// writeMetaUpdate charges the metadata write-back for a state change.
+// Updates to a set with a write already queued merge into it.
+func (c *Controller) writeMetaUpdate(s uint64) {
+	if c.metaWritePend[s] {
+		return
+	}
+	c.metaWritePend[s] = true
+	c.sys.Stats.AddBytes(stats.NM, stats.Metadata, metaEntrySize)
+	c.meta.Submit(dram.Request{Addr: s * 64, Bytes: metaEntrySize, Write: true,
+		Done: func() { delete(c.metaWritePend, s) }})
+}
+
+// Bypassing reports whether the governor currently suppresses swaps.
+func (c *Controller) Bypassing() bool { return c.gov.bypassing() }
+
+// HistoryStats returns (stores, lookups, hits) of the bit vector history
+// table.
+func (c *Controller) HistoryStats() (stores, lookups, hits uint64) {
+	return c.hist.stores, c.hist.lookups, c.hist.hits
+}
+
+// LockedFrames counts currently locked frames.
+func (c *Controller) LockedFrames() int {
+	n := 0
+	for i := range c.fs.frames {
+		if c.fs.frames[i].locked {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"silcfm/internal/memunits"
+)
+
+// noRemap marks a frame with no interleaved FM block.
+const noRemap = ^uint64(0)
+
+// frame is the per-NM-large-block metadata of Figure 4: remap entry, bit
+// vector, NM/FM activity counters, lock and LRU state. Frame f is the home
+// of flat NM block f; set membership is f mod sets.
+type frame struct {
+	remap uint64 // flat FM block interleaved here, or noRemap
+	// bits: bit i set means subblock i of this frame holds remap's
+	// subblock i, and the home block's subblock i sits at remap's FM home.
+	bits memunits.BitVector
+	// locked pins the frame's current contents: when lockHome is false the
+	// remapped FM block is fully resident (bits == Full); when true the
+	// home block is pinned and no interleaving is allowed.
+	locked   bool
+	lockHome bool
+	nmCtr    uint32 // accesses to the home block (aging, 6-bit)
+	fmCtr    uint32 // accesses to the remapped FM block
+	lastUse  uint64 // engine cycle of last access, for LRU
+	// firstPC/firstAddr identify the first swapped-in subblock, the bit
+	// vector history table's index (§III-A).
+	firstPC   uint64
+	firstAddr uint64
+}
+
+// counterMax is the 6-bit aging counter ceiling (§III-B).
+func counterMax(bits int) uint32 { return 1<<bits - 1 }
+
+// bump increments a saturating counter.
+func bump(c *uint32, max uint32) {
+	if *c < max {
+		*c++
+	}
+}
+
+// frameSet provides set/way geometry over the frame array.
+type frameSet struct {
+	frames []frame
+	sets   uint64
+	ways   int
+}
+
+func newFrameSet(nmBlocks uint64, ways int) *frameSet {
+	if ways <= 0 {
+		ways = 1
+	}
+	sets := nmBlocks / uint64(ways)
+	if sets == 0 {
+		sets = 1
+		ways = int(nmBlocks)
+	}
+	fs := &frameSet{frames: make([]frame, nmBlocks), sets: sets, ways: ways}
+	for i := range fs.frames {
+		fs.frames[i].remap = noRemap
+	}
+	return fs
+}
+
+// setOf returns the congruence set of a flat block (NM or FM).
+func (fs *frameSet) setOf(b uint64) uint64 { return b % fs.sets }
+
+// frameID returns the frame index of way w in set s.
+func (fs *frameSet) frameID(s uint64, w int) uint64 { return s + uint64(w)*fs.sets }
+
+// wayOf returns the way index of frame f within its set.
+func (fs *frameSet) wayOf(f uint64) int { return int(f / fs.sets) }
+
+// findRemap scans set s for the frame holding remap == b. Returns the frame
+// index and true, or 0 and false.
+func (fs *frameSet) findRemap(s, b uint64) (uint64, bool) {
+	for w := 0; w < fs.ways; w++ {
+		f := fs.frameID(s, w)
+		if fs.frames[f].remap == b {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// victim picks the frame of set s to host a new interleaved block: an
+// unlocked frame without a remap if one exists, else the least recently
+// used unlocked frame. ok is false when every way is locked (§III-C: locked
+// blocks make the rest of the set's FM blocks unswappable; associativity
+// reduces how often this happens).
+func (fs *frameSet) victim(s uint64) (uint64, bool) {
+	best := uint64(0)
+	found := false
+	var bestUse uint64
+	for w := 0; w < fs.ways; w++ {
+		f := fs.frameID(s, w)
+		fr := &fs.frames[f]
+		if fr.locked {
+			continue
+		}
+		if fr.remap == noRemap {
+			return f, true
+		}
+		if !found || fr.lastUse < bestUse {
+			best, bestUse, found = f, fr.lastUse, true
+		}
+	}
+	return best, found
+}
+
+// age right-shifts every activity counter (the paper's aging at 1 M-access
+// boundaries; unlock decisions are taken by the controller afterwards).
+func (fs *frameSet) age() {
+	for i := range fs.frames {
+		fs.frames[i].nmCtr >>= 1
+		fs.frames[i].fmCtr >>= 1
+	}
+}

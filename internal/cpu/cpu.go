@@ -1,0 +1,210 @@
+// Package cpu models the processor side of the evaluation (§IV-A): 4-wide
+// out-of-order cores with a 128-entry ROB, driven by workload reference
+// streams in SPEC rate mode (one instance per core, private address
+// spaces). The model is an ROB-occupancy model: a core retires up to
+// IssueWidth instructions per cycle, may run at most ROBSize instructions
+// past its oldest outstanding LLC miss, and holds at most MSHRs outstanding
+// misses — reproducing the memory-level-parallelism, latency- and
+// bandwidth-sensitivity that the paper's figures measure, without
+// simulating an ISA.
+package cpu
+
+import (
+	"silcfm/internal/cache"
+	"silcfm/internal/config"
+	"silcfm/internal/mem"
+	"silcfm/internal/sim"
+	"silcfm/internal/stats"
+	"silcfm/internal/workload"
+)
+
+// Translate maps a core's virtual address to a flat physical address.
+type Translate func(core int, va uint64) uint64
+
+// Core executes one workload instance.
+type Core struct {
+	id     int
+	cfg    config.CoreConfig
+	eng    *sim.Engine
+	gen    workload.Generator
+	hier   *cache.Hierarchy
+	xlate  Translate
+	ctl    mem.Controller
+	target uint64
+
+	clock       sim.Cycle // local logical time; may run ahead of the engine briefly
+	instr       uint64
+	outstanding []uint64 // instruction numbers of in-flight LLC misses, ascending
+	waiting     bool
+	blockedAt   sim.Cycle
+	finished    bool
+
+	Stats stats.Core
+}
+
+// NewCore wires one core. target is the instruction count to retire.
+func NewCore(id int, cfg config.CoreConfig, eng *sim.Engine, gen workload.Generator,
+	hier *cache.Hierarchy, xlate Translate, ctl mem.Controller, target uint64) *Core {
+	return &Core{
+		id: id, cfg: cfg, eng: eng, gen: gen, hier: hier,
+		xlate: xlate, ctl: ctl, target: target,
+	}
+}
+
+// Start schedules the core's first step.
+func (c *Core) Start() { c.eng.At(0, c.run) }
+
+// Done reports whether the core has retired its target.
+func (c *Core) Done() bool { return c.finished }
+
+// run executes references until the core must wait for simulated time or
+// for a miss to complete.
+func (c *Core) run() {
+	if c.finished {
+		return
+	}
+	if c.clock < c.eng.Now() {
+		c.clock = c.eng.Now()
+	}
+	for {
+		if c.instr >= c.target {
+			c.finished = true
+			c.Stats.FinishCycle = c.clock
+			return
+		}
+		// Structural stalls: MSHRs exhausted, or the ROB window has run
+		// ahead of the oldest outstanding miss.
+		if len(c.outstanding) >= c.cfg.MSHRs ||
+			(len(c.outstanding) > 0 && c.instr-c.outstanding[0] >= uint64(c.cfg.ROBSize)) {
+			c.waiting = true
+			c.blockedAt = c.eng.Now()
+			return
+		}
+		// The core's logical clock has outrun the simulation: yield and
+		// resume when the engine catches up.
+		if c.clock > c.eng.Now() {
+			c.eng.At(c.clock, c.run)
+			return
+		}
+
+		var r workload.Ref
+		c.gen.Next(&r)
+		c.instr += uint64(r.Gap)
+		c.Stats.Instructions += uint64(r.Gap)
+		c.Stats.MemRefs++
+		c.clock += sim.Cycle((r.Gap + uint32(c.cfg.IssueWidth) - 1) / uint32(c.cfg.IssueWidth))
+
+		pa := c.xlate(c.id, r.VAddr)
+		outcome, _ := c.hier.Access(c.id, pa, r.Write)
+		switch outcome {
+		case cache.HitL1:
+			c.Stats.L1Hits++
+		case cache.HitL2:
+			c.Stats.L2Hits++
+		default:
+			c.Stats.LLCMisses++
+			instrAt := c.instr
+			c.insertOutstanding(instrAt)
+			// Write-allocate: a store miss fetches the line like a load
+			// miss; memory-level writes happen only on dirty evictions
+			// (the hierarchy's Writeback path).
+			c.ctl.Handle(&mem.Access{
+				Core:  c.id,
+				PC:    r.PC,
+				PAddr: pa,
+				Done:  func() { c.completeMiss(instrAt) },
+			})
+		}
+	}
+}
+
+func (c *Core) insertOutstanding(instrAt uint64) {
+	c.outstanding = append(c.outstanding, instrAt)
+}
+
+// completeMiss retires an outstanding miss and resumes a waiting core.
+func (c *Core) completeMiss(instrAt uint64) {
+	for i, v := range c.outstanding {
+		if v == instrAt {
+			c.outstanding = append(c.outstanding[:i], c.outstanding[i+1:]...)
+			break
+		}
+	}
+	if c.waiting {
+		c.waiting = false
+		c.Stats.StallCycles += c.eng.Now() - c.blockedAt
+		// The core resumes at the later of its own logical time (pending
+		// compute) and the engine clock; never rewind.
+		if c.clock < c.eng.Now() {
+			c.clock = c.eng.Now()
+		}
+		c.run()
+	}
+}
+
+// Complex ties cores, caches and the memory controller together for one
+// simulation.
+type Complex struct {
+	Cores []*Core
+	Hier  *cache.Hierarchy
+}
+
+// NewComplex builds n cores running the given per-core generators against a
+// shared hierarchy and controller, all retiring the same instruction
+// target. Dirty LLC victims are written back through the controller.
+func NewComplex(m config.Machine, eng *sim.Engine, gens []workload.Generator,
+	xlate Translate, ctl mem.Controller, targetInstr uint64) *Complex {
+	targets := make([]uint64, len(gens))
+	for i := range targets {
+		targets[i] = targetInstr
+	}
+	return NewComplexTargets(m, eng, gens, xlate, ctl, targets)
+}
+
+// NewComplexTargets is NewComplex with per-core instruction targets, for
+// heterogeneous multiprogrammed mixes where each instance runs a different
+// benchmark (and so a different class-scaled target).
+func NewComplexTargets(m config.Machine, eng *sim.Engine, gens []workload.Generator,
+	xlate Translate, ctl mem.Controller, targets []uint64) *Complex {
+	hier := cache.NewHierarchy(len(gens), m.L1D, m.L2)
+	hier.Writeback = func(pa uint64) {
+		ctl.Handle(&mem.Access{PAddr: pa, Write: true})
+	}
+	cx := &Complex{Hier: hier}
+	for i, g := range gens {
+		cx.Cores = append(cx.Cores, NewCore(i, m.Core, eng, g, hier, xlate, ctl, targets[i]))
+	}
+	return cx
+}
+
+// Start launches all cores.
+func (cx *Complex) Start() {
+	for _, c := range cx.Cores {
+		c.Start()
+	}
+}
+
+// AllDone reports whether every core finished.
+func (cx *Complex) AllDone() bool {
+	for _, c := range cx.Cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// ExecutionCycles returns the rate-mode execution time: the cycle at which
+// the last core retired its target.
+func (cx *Complex) ExecutionCycles() sim.Cycle {
+	var max sim.Cycle
+	for _, c := range cx.Cores {
+		if c.Stats.FinishCycle > max {
+			max = c.Stats.FinishCycle
+		}
+	}
+	return max
+}
+
+// OutstandingLen reports in-flight LLC misses (instrumentation).
+func (c *Core) OutstandingLen() int { return len(c.outstanding) }

@@ -1,0 +1,385 @@
+// Package dram implements an event-driven DRAM device timing model in the
+// spirit of Ramulator, at the fidelity the paper's evaluation depends on:
+// per-channel command scheduling with FR-FCFS read prioritization and write
+// draining, per-bank row-buffer state under an open-page policy, tCAS /
+// tRCD / tRP / tRAS / tWR timing, burst-occupied data buses and bounded
+// scheduling windows (Table II: 32-entry read and write queues per channel).
+//
+// One Device models one memory level (the HBM near memory or the DDR3 far
+// memory). Addresses given to a Device are device-local physical addresses
+// in [0, Capacity).
+package dram
+
+import (
+	"silcfm/internal/config"
+	"silcfm/internal/sim"
+)
+
+// Request is one transfer submitted to a device.
+type Request struct {
+	Addr  uint64 // device-local byte address
+	Write bool
+	Bytes uint64 // transfer size; 64 for a cache line
+	// MetaBytes models metadata carried in an extended burst (CAMEO keeps
+	// the remap entry next to data and lengthens the burst; §II-B).
+	MetaBytes uint64
+	// Background marks a read that is not on any demand path (metadata
+	// verification, speculative traffic): it is scheduled at write
+	// priority so demand reads are never delayed behind it.
+	Background bool
+	// Done is invoked at completion time. May be nil (typical for writes).
+	Done func()
+}
+
+// Stats holds per-device counters.
+type Stats struct {
+	Reads, Writes           uint64
+	BytesRead, BytesWritten uint64
+	RowHits, RowMisses      uint64 // row-buffer outcome per access
+	Activations             uint64
+	Refreshes               uint64 // periodic all-bank refreshes applied
+	BusBusyCycles           uint64 // sum of burst occupancy over channels
+	DynamicEnergyPJ         float64
+	ReadLatency             LatencySummary
+}
+
+// LatencySummary accumulates request latencies without storing samples.
+type LatencySummary struct {
+	N   uint64
+	Sum uint64
+	Max uint64
+}
+
+// Add records one latency sample.
+func (l *LatencySummary) Add(v uint64) {
+	l.N++
+	l.Sum += v
+	if v > l.Max {
+		l.Max = v
+	}
+}
+
+// Mean returns the average latency.
+func (l *LatencySummary) Mean() float64 {
+	if l.N == 0 {
+		return 0
+	}
+	return float64(l.Sum) / float64(l.N)
+}
+
+type op struct {
+	req     Request
+	bank    int // global bank index within channel (rank*banks + bank)
+	row     uint64
+	arrival sim.Cycle
+}
+
+type bankState struct {
+	openRow int64     // -1 when precharged
+	actAt   sim.Cycle // when the open row was activated (for tRAS)
+	readyAt sim.Cycle // earliest start of the next command on this bank
+}
+
+type channel struct {
+	readQ     []op
+	writeQ    []op
+	busFreeAt sim.Cycle
+	banks     []bankState
+	inflight  int
+	draining  bool
+	// lastRefresh is the time of the most recently applied periodic
+	// refresh (lazy catch-up; see refreshCatchup).
+	lastRefresh sim.Cycle
+}
+
+// Device is one DRAM device (a set of channels).
+type Device struct {
+	Cfg   config.DRAMConfig
+	eng   *sim.Engine
+	chans []channel
+	stats Stats
+
+	// geometry, precomputed
+	nChan        uint64
+	banksPerChan uint64
+	blocksPerRow uint64
+
+	// timing in CPU cycles, precomputed
+	tCAS, tRCD, tRP, tRAS, tWR sim.Cycle
+	tREFI, tRFC                sim.Cycle
+
+	// maxInflight bounds ops issued but not completed per channel, so
+	// later arrivals can still be reordered by FR-FCFS.
+	maxInflight int
+}
+
+// New builds a device on the given engine.
+func New(cfg config.DRAMConfig, eng *sim.Engine) *Device {
+	d := &Device{
+		Cfg:          cfg,
+		eng:          eng,
+		nChan:        uint64(cfg.Channels),
+		banksPerChan: uint64(cfg.RanksPerChan * cfg.BanksPerRank),
+		blocksPerRow: cfg.RowBufferSize / 64,
+		tCAS:         cfg.MemCyclesToCPU(cfg.Timing.TCAS),
+		tRCD:         cfg.MemCyclesToCPU(cfg.Timing.TRCD),
+		tRP:          cfg.MemCyclesToCPU(cfg.Timing.TRP),
+		tRAS:         cfg.MemCyclesToCPU(cfg.Timing.TRAS),
+		tWR:          cfg.MemCyclesToCPU(cfg.Timing.TWR),
+		tREFI:        cfg.MemCyclesToCPU(cfg.Timing.TREFI),
+		tRFC:         cfg.MemCyclesToCPU(cfg.Timing.TRFC),
+		// Enough issued-but-incomplete ops to keep every bank busy while
+		// the bus streams; later arrivals still reorder within the window.
+		maxInflight: 2 * cfg.RanksPerChan * cfg.BanksPerRank,
+	}
+	d.chans = make([]channel, cfg.Channels)
+	for i := range d.chans {
+		d.chans[i].banks = make([]bankState, d.banksPerChan)
+		for b := range d.chans[i].banks {
+			d.chans[i].banks[b].openRow = -1
+		}
+	}
+	return d
+}
+
+// Stats returns the accumulated counters.
+func (d *Device) Stats() *Stats { return &d.stats }
+
+// mapAddr decomposes a device address: 64B blocks interleave across
+// channels, then banks; consecutive same-bank blocks share a row until the
+// 8KB row buffer wraps, so streaming accesses enjoy row hits.
+func (d *Device) mapAddr(addr uint64) (ch int, bank int, row uint64) {
+	blk := addr >> 6
+	ch = int(blk % d.nChan)
+	bc := blk / d.nChan
+	bank = int(bc % d.banksPerChan)
+	bcb := bc / d.banksPerChan
+	row = bcb / d.blocksPerRow
+	return
+}
+
+// Submit enqueues a request. Requests are always admitted; the bounded
+// FR-FCFS window and bus/bank availability provide the contention delays,
+// while end-to-end backpressure comes from the cores' MSHR/ROB limits.
+func (d *Device) Submit(r Request) {
+	if r.Bytes == 0 {
+		r.Bytes = 64
+	}
+	ch, bank, row := d.mapAddr(r.Addr)
+	c := &d.chans[ch]
+	o := op{req: r, bank: bank, row: row, arrival: d.eng.Now()}
+	if r.Write || r.Background {
+		c.writeQ = append(c.writeQ, o)
+	} else {
+		c.readQ = append(c.readQ, o)
+	}
+	d.kick(ch)
+}
+
+// kick issues as many ops as the inflight bound allows on channel ch.
+func (d *Device) kick(ch int) {
+	c := &d.chans[ch]
+	for c.inflight < d.maxInflight {
+		o, ok := d.selectOp(c)
+		if !ok {
+			return
+		}
+		d.issue(ch, c, o)
+	}
+}
+
+// selectOp implements FR-FCFS with write draining over the bounded
+// scheduling windows.
+func (d *Device) selectOp(c *channel) (op, bool) {
+	// Enter drain mode when the write queue saturates its window; drain a
+	// small batch so waiting reads are not starved. Reads otherwise have
+	// priority.
+	if c.draining {
+		if len(c.writeQ) <= d.Cfg.WriteQueueLen*3/4 {
+			c.draining = false
+		}
+	} else if len(c.writeQ) >= d.Cfg.WriteQueueLen {
+		c.draining = true
+	}
+	useWrites := c.draining || len(c.readQ) == 0
+	q := &c.readQ
+	if useWrites {
+		q = &c.writeQ
+	}
+	if len(*q) == 0 {
+		return op{}, false
+	}
+	window := len(*q)
+	limit := d.Cfg.ReadQueueLen
+	if useWrites {
+		limit = d.Cfg.WriteQueueLen
+	}
+	if window > limit {
+		window = limit
+	}
+	// First ready (row hit) within the window, else oldest.
+	pick := 0
+	for i := 0; i < window; i++ {
+		b := &c.banks[(*q)[i].bank]
+		if b.openRow >= 0 && uint64(b.openRow) == (*q)[i].row {
+			pick = i
+			break
+		}
+	}
+	o := (*q)[pick]
+	*q = append((*q)[:pick], (*q)[pick+1:]...)
+	return o, true
+}
+
+// refreshCatchup applies any periodic refreshes due since the channel was
+// last serviced: every tREFI all banks close their rows and become
+// unavailable for tRFC. Refreshes are applied lazily at issue time so an
+// idle device schedules no events.
+func (d *Device) refreshCatchup(c *channel, now sim.Cycle) {
+	if d.tREFI == 0 {
+		return
+	}
+	for c.lastRefresh+d.tREFI <= now {
+		c.lastRefresh += d.tREFI
+		d.stats.Refreshes++
+		d.stats.DynamicEnergyPJ += d.Cfg.ActivateEnergyPJ * float64(len(c.banks))
+		for i := range c.banks {
+			b := &c.banks[i]
+			start := c.lastRefresh
+			if b.readyAt > start {
+				start = b.readyAt
+			}
+			b.readyAt = start + d.tRFC
+			b.openRow = -1
+		}
+	}
+}
+
+// issue computes the op's timing, reserves bank and bus, and schedules its
+// completion.
+func (d *Device) issue(ch int, c *channel, o op) {
+	b := &c.banks[o.bank]
+	now := d.eng.Now()
+	d.refreshCatchup(c, now)
+	start := b.readyAt
+	if start < now {
+		start = now
+	}
+	var colAt sim.Cycle
+	switch {
+	case b.openRow >= 0 && uint64(b.openRow) == o.row:
+		// Row hit: column command only.
+		d.stats.RowHits++
+		colAt = start
+	case b.openRow < 0:
+		// Closed: activate then column.
+		d.stats.RowMisses++
+		d.stats.Activations++
+		d.stats.DynamicEnergyPJ += d.Cfg.ActivateEnergyPJ
+		colAt = start + d.tRCD
+		b.actAt = start
+		b.openRow = int64(o.row)
+	default:
+		// Conflict: precharge (respecting tRAS), activate, column.
+		d.stats.RowMisses++
+		d.stats.Activations++
+		d.stats.DynamicEnergyPJ += d.Cfg.ActivateEnergyPJ
+		preAt := start
+		if min := b.actAt + d.tRAS; preAt < min {
+			preAt = min
+		}
+		actAt := preAt + d.tRP
+		colAt = actAt + d.tRCD
+		b.actAt = actAt
+		b.openRow = int64(o.row)
+	}
+
+	burst := d.Cfg.BurstCPUCycles(o.req.Bytes + o.req.MetaBytes)
+	var dataAt sim.Cycle
+	if o.req.Write {
+		// Write data moves over the bus at the column command.
+		dataAt = colAt
+		if dataAt < c.busFreeAt {
+			dataAt = c.busFreeAt
+		}
+		b.readyAt = dataAt + burst + d.tWR
+	} else {
+		dataAt = colAt + d.tCAS
+		if dataAt < c.busFreeAt {
+			dataAt = c.busFreeAt
+		}
+		// Column commands pipeline at tCCD (~ one burst): row-hit reads
+		// stream at bus rate while the CAS latency overlaps.
+		effCol := dataAt - d.tCAS // actual column-command time after bus delays
+		b.readyAt = effCol + burst
+	}
+	if d.Cfg.Policy == config.ClosedPage {
+		// Auto-precharge: the row closes after the access and the bank
+		// needs tRP before its next activate.
+		b.openRow = -1
+		b.readyAt += d.tRP
+	}
+	c.busFreeAt = dataAt + burst
+	d.stats.BusBusyCycles += burst
+
+	done := dataAt + burst
+	bits := float64((o.req.Bytes + o.req.MetaBytes) * 8)
+	if o.req.Write {
+		d.stats.Writes++
+		d.stats.BytesWritten += o.req.Bytes
+		d.stats.DynamicEnergyPJ += bits * d.Cfg.WriteEnergyPJPerBit
+	} else {
+		d.stats.Reads++
+		d.stats.BytesRead += o.req.Bytes
+		d.stats.DynamicEnergyPJ += bits * d.Cfg.ReadEnergyPJPerBit
+	}
+
+	c.inflight++
+	cb := o.req.Done
+	arrival := o.arrival
+	isRead := !o.req.Write
+	d.eng.At(done, func() {
+		c.inflight--
+		if isRead {
+			d.stats.ReadLatency.Add(done - arrival)
+		}
+		if cb != nil {
+			cb()
+		}
+		d.kick(ch)
+	})
+}
+
+// QueueDepth reports total queued (not yet issued) requests, for tests.
+func (d *Device) QueueDepth() int {
+	n := 0
+	for i := range d.chans {
+		n += len(d.chans[i].readQ) + len(d.chans[i].writeQ)
+	}
+	return n
+}
+
+// UnloadedReadLatency returns the CPU-cycle latency of an isolated read that
+// misses the row buffer on an idle device (activate + column + burst).
+func (d *Device) UnloadedReadLatency() sim.Cycle {
+	return d.tRCD + d.tCAS + d.Cfg.BurstCPUCycles(64)
+}
+
+// Join returns a callback that invokes fn after being called n times. It is
+// the device-level fan-in helper for multi-subblock transfers. If n == 0,
+// fn runs immediately.
+func Join(n int, fn func()) func() {
+	if n <= 0 {
+		if fn != nil {
+			fn()
+		}
+		return func() {}
+	}
+	remaining := n
+	return func() {
+		remaining--
+		if remaining == 0 && fn != nil {
+			fn()
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package harness assembles complete simulations — workload generators,
+// virtual memory, the cache hierarchy, a memory-organization scheme and the
+// two DRAM devices — runs them, and reduces the results into the rows of
+// every table and figure in the paper's evaluation (§IV-V).
+package harness
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"silcfm/internal/config"
+	"silcfm/internal/core"
+	"silcfm/internal/cpu"
+	"silcfm/internal/energy"
+	"silcfm/internal/mem"
+	"silcfm/internal/schemes/cameo"
+	"silcfm/internal/schemes/flat"
+	"silcfm/internal/schemes/hma"
+	"silcfm/internal/schemes/pom"
+	"silcfm/internal/sim"
+	"silcfm/internal/stats"
+	"silcfm/internal/vm"
+	"silcfm/internal/workload"
+)
+
+// Spec describes one simulation.
+type Spec struct {
+	Machine      config.Machine
+	Workload     string // Table III benchmark name
+	InstrPerCore uint64 // rate-mode retirement target per core
+	// ScaleInstrByClass multiplies InstrPerCore by the workload class's
+	// InstrScale so every benchmark reaches comparable memory steady
+	// state (see workload.MPKIClass.InstrScale).
+	ScaleInstrByClass bool
+	// FootScaleNum/Den scale workload footprints when the machine is
+	// scaled (0 means 1).
+	FootScaleNum, FootScaleDen int
+	// TracePath, when set, replays a captured trace file (see
+	// cmd/silcfm-trace) instead of the synthetic generator; Workload is
+	// then only a label and FootScale*/ScaleInstrByClass are ignored.
+	TracePath string
+	// Mix, when set, runs a heterogeneous multiprogrammed mix: core i
+	// runs benchmark Mix[i mod len(Mix)]. Workload is ignored. (The paper
+	// evaluates homogeneous rate mode; mixes are an extension.)
+	Mix []string
+}
+
+// Result is one completed simulation.
+type Result struct {
+	stats.Run
+	Energy energy.Breakdown
+	// AuditErr is non-nil when the end-of-run data-integrity audit failed.
+	AuditErr error
+}
+
+// placementFor returns the first-touch allocation policy each scheme
+// assumes (§IV-A).
+func placementFor(s config.SchemeName) vm.Policy {
+	switch s {
+	case config.SchemeBaseline, config.SchemeHMA:
+		// No NM in the flat space (baseline) or NM reserved for the OS
+		// migrator (HMA).
+		return vm.PolicyFMFirst
+	case config.SchemeRandom:
+		return vm.PolicyRandom
+	default:
+		return vm.PolicyInterleaved
+	}
+}
+
+// NewController constructs the scheme named by m.Scheme over sys. Most
+// callers want Run; this is the assembly hook for custom drivers and
+// benchmarks.
+func NewController(m config.Machine, sys *mem.System) (mem.Controller, error) {
+	switch m.Scheme {
+	case config.SchemeBaseline:
+		return flat.NewBaseline(sys), nil
+	case config.SchemeRandom:
+		return flat.NewStatic(sys), nil
+	case config.SchemeHMA:
+		return hma.New(sys, m.HMA), nil
+	case config.SchemeCAMEO:
+		return cameo.New(sys, config.CAMEOConfig{}), nil
+	case config.SchemeCAMEOP:
+		return cameo.New(sys, config.CAMEOConfig{PrefetchLines: 3}), nil
+	case config.SchemePoM:
+		return pom.New(sys, m.PoM), nil
+	case config.SchemeSILCFM:
+		return core.New(sys, m.SILC), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown scheme %q", m.Scheme)
+	}
+}
+
+// Run executes one simulation to completion.
+func Run(spec Spec) (*Result, error) {
+	m := spec.Machine
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.InstrPerCore == 0 {
+		spec.InstrPerCore = 1 << 20
+	}
+
+	gens := make([]workload.Generator, m.Cores)
+	targets := make([]uint64, m.Cores)
+	var needBytes uint64
+	wlLabel := spec.Workload
+
+	// lookupParams resolves and scales one benchmark's parameters.
+	lookupParams := func(name string) (workload.Params, error) {
+		params, ok := workload.Spec(name)
+		if !ok {
+			return params, fmt.Errorf("harness: unknown workload %q", name)
+		}
+		if spec.FootScaleNum > 0 && spec.FootScaleDen > 0 {
+			params = workload.ScaleFootprint(params, spec.FootScaleNum, spec.FootScaleDen)
+		}
+		return params, nil
+	}
+
+	switch {
+	case spec.TracePath != "":
+		rp, err := loadTrace(spec.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		if wlLabel == "" {
+			wlLabel = rp.Name()
+		}
+		for i := range gens {
+			gens[i] = rp.CloneAt(i, m.Cores)
+			targets[i] = spec.InstrPerCore
+		}
+		needBytes = rp.FootprintBytes() * uint64(m.Cores)
+	case len(spec.Mix) > 0:
+		wlLabel = "mix(" + strings.Join(spec.Mix, ",") + ")"
+		for i := range gens {
+			params, err := lookupParams(spec.Mix[i%len(spec.Mix)])
+			if err != nil {
+				return nil, err
+			}
+			gens[i] = workload.NewSynthetic(params, m.Seed+int64(i)*7919)
+			targets[i] = spec.InstrPerCore
+			if spec.ScaleInstrByClass {
+				targets[i] *= params.Class.InstrScale()
+			}
+			needBytes += uint64(params.FootprintPages) * m.PageSize
+		}
+	default:
+		params, err := lookupParams(spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+		if spec.ScaleInstrByClass {
+			spec.InstrPerCore *= params.Class.InstrScale()
+		}
+		for i := range gens {
+			gens[i] = workload.NewSynthetic(params, m.Seed+int64(i)*7919)
+			targets[i] = spec.InstrPerCore
+		}
+		needBytes = uint64(params.FootprintPages) * m.PageSize * uint64(m.Cores)
+	}
+
+	// Capacity check: rate mode must fit every instance.
+	if total := m.TotalCapacity(); needBytes > total {
+		return nil, fmt.Errorf("harness: %s footprint %d B exceeds capacity %d B",
+			wlLabel, needBytes, total)
+	}
+
+	eng := sim.NewEngine()
+	sys := mem.NewSystem(m, eng)
+	ctl, err := NewController(m, sys)
+	if err != nil {
+		return nil, err
+	}
+
+	nmBytes := m.NM.Capacity
+	if m.Scheme == config.SchemeBaseline {
+		nmBytes = 0
+	}
+	space := vm.NewAddressSpace(nmBytes, m.FM.Capacity, placementFor(m.Scheme), m.Seed)
+	xlate := func(c int, va uint64) uint64 {
+		return space.MustTranslate(vm.CoreVA(c, va))
+	}
+
+	cx := cpu.NewComplexTargets(m, eng, gens, xlate, ctl, targets)
+	cx.Start()
+	eng.RunWhile(func() bool { return !cx.AllDone() })
+	if !cx.AllDone() {
+		return nil, fmt.Errorf("harness: simulation deadlocked at cycle %d", eng.Now())
+	}
+
+	res := &Result{}
+	res.Workload = wlLabel
+	res.Scheme = ctl.Name()
+	res.Cycles = cx.ExecutionCycles()
+	res.Mem = *sys.Stats
+	res.Mem.RowHits = [2]uint64{sys.NM.Stats().RowHits, sys.FM.Stats().RowHits}
+	res.Mem.RowMisses = [2]uint64{sys.NM.Stats().RowMisses, sys.FM.Stats().RowMisses}
+	for _, c := range cx.Cores {
+		res.Cores = append(res.Cores, c.Stats)
+	}
+	res.FootprintPages = space.PagesTouched()
+	// SILC-FM's dedicated metadata channel contributes dynamic energy too.
+	if sc, ok := ctl.(*core.Controller); ok {
+		sys.Stats.ExtraEnergyPJ += sc.MetaDeviceStats().DynamicEnergyPJ
+	}
+	res.Energy = energy.Compute(m.NM, m.FM, sys.NM.Stats(), sys.FM.Stats(), sys.Stats, res.Cycles)
+	res.EnergyNJ = res.Energy.TotalNJ()
+
+	// Spot-check data integrity for every remapping scheme. The baseline's
+	// flat space is FM alone.
+	if m.Scheme == config.SchemeBaseline {
+		res.AuditErr = mem.AuditSample(ctl, 0, m.FM.Capacity, 97)
+	} else {
+		res.AuditErr = mem.AuditSample(ctl, sys.NMCap, sys.FMCap, 97)
+	}
+	return res, nil
+}
+
+// loadTrace reads a trace file into a Replay generator.
+func loadTrace(path string) (*workload.Replay, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	defer f.Close()
+	rp, err := workload.LoadReplay(f)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", path, err)
+	}
+	return rp, nil
+}

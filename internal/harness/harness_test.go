@@ -1,0 +1,407 @@
+package harness
+
+import (
+	"os"
+	"testing"
+
+	"silcfm/internal/config"
+	"silcfm/internal/stats"
+	"silcfm/internal/workload"
+)
+
+// tinySpec runs fast on one CPU: 4 cores, NM 4MB / FM 16MB, footprints
+// scaled 1/16.
+func tinySpec(scheme config.SchemeName, wl string) Spec {
+	m := config.Small()
+	m.Scheme = scheme
+	return Spec{
+		Machine:      m,
+		Workload:     wl,
+		InstrPerCore: 150_000,
+		FootScaleNum: 1,
+		FootScaleDen: 16,
+	}
+}
+
+func TestRunEverySchemeCompletes(t *testing.T) {
+	var base *Result
+	for _, s := range append([]config.SchemeName{config.SchemeBaseline}, config.AllSchemes...) {
+		r, err := Run(tinySpec(s, "milc"))
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if r.AuditErr != nil {
+			t.Fatalf("%s: audit: %v", s, r.AuditErr)
+		}
+		if r.Cycles == 0 || r.TotalInstructions() < 4*150_000 {
+			t.Fatalf("%s: cycles=%d instr=%d", s, r.Cycles, r.TotalInstructions())
+		}
+		if s == config.SchemeBaseline {
+			base = r
+			if r.Mem.ServicedNM != 0 {
+				t.Fatal("baseline used NM")
+			}
+		} else if sp := r.Speedup(base.Cycles); sp < 0.1 || sp > 20 {
+			t.Errorf("%s: implausible speedup %.2f", s, sp)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if _, err := Run(tinySpec("nope", "milc")); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := Run(tinySpec(config.SchemeSILCFM, "nope")); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	// Footprint beyond capacity.
+	s := tinySpec(config.SchemeSILCFM, "mcf")
+	s.FootScaleNum, s.FootScaleDen = 4, 1
+	if _, err := Run(s); err == nil {
+		t.Fatal("oversized footprint accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(tinySpec(config.SchemeSILCFM, "gems"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tinySpec(config.SchemeSILCFM, "gems"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Mem.SwapsIn != b.Mem.SwapsIn {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d", a.Cycles, a.Mem.SwapsIn, b.Cycles, b.Mem.SwapsIn)
+	}
+}
+
+func TestScaleInstrByClass(t *testing.T) {
+	s := tinySpec(config.SchemeBaseline, "bwaves") // low MPKI: x8
+	s.ScaleInstrByClass = true
+	s.InstrPerCore = 50_000
+	r, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalInstructions() < 4*8*50_000 {
+		t.Fatalf("class scaling not applied: %d instructions", r.TotalInstructions())
+	}
+}
+
+func TestSILCBeatsBaselineOnHotWorkload(t *testing.T) {
+	// The headline sanity check at tiny scale: a bandwidth-bound workload
+	// with a compact hot set must benefit from SILC-FM. Long enough to get
+	// past swap-in warmup.
+	bs := tinySpec(config.SchemeBaseline, "milc")
+	bs.InstrPerCore = 600_000
+	bs.FootScaleDen = 8
+	base, err := Run(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := tinySpec(config.SchemeSILCFM, "milc")
+	ss.InstrPerCore = 600_000
+	ss.FootScaleDen = 8
+	silc, err := Run(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := silc.Speedup(base.Cycles); sp < 1.0 {
+		t.Fatalf("SILC-FM speedup on milc = %.2f, want > 1", sp)
+	}
+	if silc.Mem.AccessRate() < 0.3 {
+		t.Fatalf("access rate %.2f too low", silc.Mem.AccessRate())
+	}
+}
+
+func tinyExp() ExpConfig {
+	m := config.Small()
+	return ExpConfig{
+		Machine:      m,
+		InstrPerCore: 60_000,
+		Workloads:    []string{"milc", "xalanc"},
+		FootScaleNum: 1,
+		FootScaleDen: 16,
+		Parallelism:  2,
+	}
+}
+
+func TestSweepFigure7Shape(t *testing.T) {
+	sw, tbl, err := Figure7(tinyExp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 { // 2 workloads + geomean
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, v := range Figure7Variants() {
+		if sw.GeoMeanSpeedup(v.Label) <= 0 {
+			t.Fatalf("%s: nonpositive geomean", v.Label)
+		}
+	}
+	// Figure 8 derives from the same sweep.
+	f8 := Figure8(sw)
+	if len(f8.Rows) != 3 {
+		t.Fatalf("figure 8 rows = %d", len(f8.Rows))
+	}
+}
+
+func TestFigure6VariantsOrdered(t *testing.T) {
+	vs := Figure6Variants()
+	want := []string{"rand", "swap", "+lock", "+assoc", "+bypass"}
+	if len(vs) != len(want) {
+		t.Fatalf("variants = %d", len(vs))
+	}
+	for i, v := range vs {
+		if v.Label != want[i] {
+			t.Fatalf("variant %d = %s, want %s", i, v.Label, want[i])
+		}
+	}
+	// The mutations must produce valid machines.
+	for _, v := range vs {
+		m := config.Default()
+		v.Mutate(&m)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", v.Label, err)
+		}
+	}
+}
+
+func TestTableIIISmall(t *testing.T) {
+	cfg := tinyExp()
+	tbl, runs, err := TableIII(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 || len(runs) != 2 {
+		t.Fatalf("rows=%d runs=%d", len(tbl.Rows), len(runs))
+	}
+	if runs["milc"].AvgMPKI() <= runs["xalanc"].AvgMPKI() {
+		t.Fatalf("MPKI ordering violated: milc %.1f !> xalanc %.1f",
+			runs["milc"].AvgMPKI(), runs["xalanc"].AvgMPKI())
+	}
+}
+
+func TestHeadlineComputation(t *testing.T) {
+	cfg := tinyExp()
+	cfg.Workloads = []string{"milc"}
+	f6, _, err := Figure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7, _, err := Figure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ComputeHeadline(f6, f7)
+	if h.BestAlt == "" {
+		t.Fatal("no best alternative identified")
+	}
+	if h.String() == "" {
+		t.Fatal("empty headline")
+	}
+}
+
+func TestTraceDrivenRun(t *testing.T) {
+	// Capture a short synthetic trace, then replay it through the full
+	// pipeline.
+	dir := t.TempDir()
+	path := dir + "/t.sfmt"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.NewTraceWriter(f, "captured")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewSynthetic(workload.Params{
+		Name: "t", FootprintPages: 256, HotPages: 64, HotProb: 0.9,
+		VisitSubblocksMin: 4, VisitSubblocksMax: 8, GapMean: 5,
+	}, 3)
+	var ref workload.Ref
+	for i := 0; i < 30000; i++ {
+		g.Next(&ref)
+		if err := w.Write(ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := config.Small()
+	m.Scheme = config.SchemeSILCFM
+	r, err := Run(Spec{Machine: m, TracePath: path, InstrPerCore: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workload != "captured" {
+		t.Fatalf("workload label = %q", r.Workload)
+	}
+	if r.Cycles == 0 || r.Mem.LLCMisses == 0 {
+		t.Fatal("trace-driven run did nothing")
+	}
+	// Deterministic replay: same trace, same result.
+	r2, err := Run(Spec{Machine: m, TracePath: path, InstrPerCore: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles != r2.Cycles {
+		t.Fatalf("trace replay nondeterministic: %d vs %d", r.Cycles, r2.Cycles)
+	}
+	if _, err := Run(Spec{Machine: m, TracePath: dir + "/missing.sfmt"}); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}
+
+func TestSchemesSeeIdenticalMissStreams(t *testing.T) {
+	// The CPU side is scheme-independent: per-core reference streams are
+	// identical under every scheme, so demand miss counts agree to within
+	// the shared-LLC interleaving noise (scheme timing changes the order
+	// in which cores touch the shared cache, nothing more).
+	var counts []float64
+	for _, s := range []config.SchemeName{config.SchemeBaseline, config.SchemeCAMEO, config.SchemeSILCFM} {
+		r, err := Run(tinySpec(s, "gems"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var demand uint64
+		for i := range r.Cores {
+			demand += r.Cores[i].LLCMisses
+		}
+		counts = append(counts, float64(demand))
+	}
+	for _, c := range counts[1:] {
+		if ratio := c / counts[0]; ratio < 0.99 || ratio > 1.01 {
+			t.Fatalf("schemes saw substantially different miss streams: %v", counts)
+		}
+	}
+}
+
+func TestHeterogeneousMix(t *testing.T) {
+	m := config.Small()
+	m.Scheme = config.SchemeSILCFM
+	r, err := Run(Spec{
+		Machine:           m,
+		Mix:               []string{"milc", "xalanc"},
+		InstrPerCore:      50_000,
+		ScaleInstrByClass: true,
+		FootScaleNum:      1,
+		FootScaleDen:      16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workload != "mix(milc,xalanc)" {
+		t.Fatalf("label = %q", r.Workload)
+	}
+	// Class scaling: xalanc (low, x8) cores retire 4x the instructions of
+	// milc (high, x2) cores.
+	if len(r.Cores) != 4 {
+		t.Fatalf("cores = %d", len(r.Cores))
+	}
+	milcInstr := r.Cores[0].Instructions // core 0: milc
+	xalInstr := r.Cores[1].Instructions  // core 1: xalanc
+	if xalInstr < 3*milcInstr {
+		t.Fatalf("class-scaled mix targets wrong: milc=%d xalanc=%d", milcInstr, xalInstr)
+	}
+	// Unknown mix member is rejected.
+	if _, err := Run(Spec{Machine: m, Mix: []string{"milc", "nope"}, InstrPerCore: 1000}); err == nil {
+		t.Fatal("bad mix accepted")
+	}
+}
+
+// Paper stories at tiny scale: the qualitative relationships each figure
+// depends on.
+
+func TestPrefetchRaisesAccessRate(t *testing.T) {
+	// CAMEOP's next-3-line prefetch must raise NM residency over CAMEO on
+	// a spatially local workload (§IV-A / Figure 8).
+	spec := func(s config.SchemeName) Spec {
+		sp := tinySpec(s, "lbm")
+		sp.InstrPerCore = 400_000
+		sp.FootScaleDen = 8
+		return sp
+	}
+	cam, err := Run(spec(config.SchemeCAMEO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := Run(spec(config.SchemeCAMEOP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.Mem.AccessRate() <= cam.Mem.AccessRate() {
+		t.Fatalf("camp access rate %.3f !> cam %.3f", camp.Mem.AccessRate(), cam.Mem.AccessRate())
+	}
+}
+
+func TestPoMWastesBandwidthOnPointerChasing(t *testing.T) {
+	// On a low-spatial-locality workload, PoM's whole-block migrations
+	// cost far more bytes per demand byte than SILC-FM's subblock swaps
+	// (§II-B vs §III-A).
+	spec := func(s config.SchemeName) Spec {
+		sp := tinySpec(s, "omnet")
+		sp.InstrPerCore = 300_000
+		sp.FootScaleDen = 8
+		return sp
+	}
+	pom, err := Run(spec(config.SchemePoM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	silc, err := Run(spec(config.SchemeSILCFM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pom.Mem.Migrations == 0 {
+		t.Skip("no PoM migrations at this scale")
+	}
+	// Efficiency metric: migration bytes spent per NM-serviced miss. PoM
+	// pays for all 32 subblocks but omnet uses 1-4 of them; SILC-FM only
+	// moves what is touched (plus history-predicted subblocks).
+	perHit := func(r *Result) float64 {
+		mig := r.Mem.Bytes[stats.NM][stats.Migration] + r.Mem.Bytes[stats.FM][stats.Migration]
+		if r.Mem.ServicedNM == 0 {
+			return 0
+		}
+		return float64(mig) / float64(r.Mem.ServicedNM)
+	}
+	pomEff, silcEff := perHit(pom), perHit(silc)
+	if pomEff <= silcEff {
+		t.Fatalf("PoM migration bytes/NM hit %.1f !> SILC %.1f on pointer chasing", pomEff, silcEff)
+	}
+}
+
+func TestEnergyFavorsNMHeavySchemes(t *testing.T) {
+	// Servicing from HBM is cheaper per bit: SILC-FM's dynamic energy per
+	// demand byte must undercut the all-FM baseline's.
+	bs := tinySpec(config.SchemeBaseline, "milc")
+	bs.InstrPerCore = 400_000
+	bs.FootScaleDen = 8
+	base, err := Run(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := bs
+	ss.Machine.Scheme = config.SchemeSILCFM
+	silc, err := Run(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perByte := func(r *Result) float64 {
+		demand := r.Mem.Bytes[stats.NM][stats.Demand] + r.Mem.Bytes[stats.FM][stats.Demand]
+		return (r.Energy.NMDynamicNJ + r.Energy.FMDynamicNJ) / float64(demand)
+	}
+	// SILC moves extra migration bytes, so compare FM dynamic energy: the
+	// baseline burns all of it in DDR3.
+	if base.Energy.FMDynamicNJ <= silc.Energy.FMDynamicNJ {
+		t.Fatalf("baseline FM energy %.0f !> silc %.0f", base.Energy.FMDynamicNJ, silc.Energy.FMDynamicNJ)
+	}
+	_ = perByte
+}

@@ -1,0 +1,220 @@
+// Package mem defines the contract between the CPU side and the flat-memory
+// organization schemes, wires the two DRAM devices together, and provides
+// the data-integrity audit that every swapping scheme must pass: the
+// mapping from flat physical subblocks to device locations must remain a
+// bijection (flat memory has exactly one copy of every byte — §III-A, "data
+// in NM is the only copy of the data in the physical address space").
+package mem
+
+import (
+	"fmt"
+
+	"silcfm/internal/config"
+	"silcfm/internal/dram"
+	"silcfm/internal/memunits"
+	"silcfm/internal/sim"
+	"silcfm/internal/stats"
+)
+
+// Access is one LLC miss (or LLC writeback) entering the memory system.
+type Access struct {
+	Core  int
+	PC    uint64
+	PAddr uint64 // flat physical address; NM occupies [0, NMCapacity)
+	Write bool
+	// Done is called when the demand data is available (reads) or accepted
+	// (writes). May be nil.
+	Done func()
+}
+
+// Location is a device-level position of one subblock.
+type Location struct {
+	Level   stats.MemLevel
+	DevAddr uint64 // subblock-aligned device-local address
+}
+
+// Controller is a flat-memory organization scheme.
+type Controller interface {
+	Name() string
+	// Handle services one LLC miss.
+	Handle(a *Access)
+	// Locate reports where the subblock containing flat address pa
+	// currently resides. Pure; used by audits and tests.
+	Locate(pa uint64) Location
+}
+
+// System bundles the devices, clock and counters a controller needs.
+type System struct {
+	Eng   *sim.Engine
+	NM    *dram.Device
+	FM    *dram.Device
+	NMCap uint64
+	FMCap uint64
+	Stats *stats.Memory
+}
+
+// NewSystem builds devices for machine m on engine eng. For the no-NM
+// baseline the NM device is still constructed (idle) so accounting code is
+// uniform.
+func NewSystem(m config.Machine, eng *sim.Engine) *System {
+	return &System{
+		Eng:   eng,
+		NM:    dram.New(m.NM, eng),
+		FM:    dram.New(m.FM, eng),
+		NMCap: m.NM.Capacity,
+		FMCap: m.FM.Capacity,
+		Stats: &stats.Memory{},
+	}
+}
+
+// InNM reports whether flat address pa lies in the near-memory range.
+func (s *System) InNM(pa uint64) bool { return pa < s.NMCap }
+
+// FMDev converts a flat far-memory address to a device-local address.
+func (s *System) FMDev(pa uint64) uint64 { return pa - s.NMCap }
+
+// HomeLocation returns where pa lives with no remapping at all.
+func (s *System) HomeLocation(pa uint64) Location {
+	if s.InNM(pa) {
+		return Location{Level: stats.NM, DevAddr: pa}
+	}
+	return Location{Level: stats.FM, DevAddr: s.FMDev(pa)}
+}
+
+// Device returns the device backing a level.
+func (s *System) Device(level stats.MemLevel) *dram.Device {
+	if level == stats.NM {
+		return s.NM
+	}
+	return s.FM
+}
+
+// Read submits a read of n bytes at loc, accounted under class, invoking
+// done at completion.
+func (s *System) Read(loc Location, n uint64, class stats.TrafficClass, done func()) {
+	s.Stats.AddBytes(loc.Level, class, n)
+	s.Device(loc.Level).Submit(dram.Request{Addr: loc.DevAddr, Bytes: n, Done: done})
+}
+
+// ReadMeta submits a read with an extended burst carrying meta additional
+// metadata bytes (CAMEO's in-row remap entries).
+func (s *System) ReadMeta(loc Location, n, meta uint64, class stats.TrafficClass, done func()) {
+	s.Stats.AddBytes(loc.Level, class, n)
+	s.Stats.AddBytes(loc.Level, stats.Metadata, meta)
+	s.Device(loc.Level).Submit(dram.Request{Addr: loc.DevAddr, Bytes: n, MetaBytes: meta, Done: done})
+}
+
+// ReadBackground submits a background-priority read (bulk migration DMA,
+// verification traffic): it never delays demand reads.
+func (s *System) ReadBackground(loc Location, n uint64, class stats.TrafficClass, done func()) {
+	s.Stats.AddBytes(loc.Level, class, n)
+	s.Device(loc.Level).Submit(dram.Request{Addr: loc.DevAddr, Bytes: n, Background: true, Done: done})
+}
+
+// Write submits a write of n bytes at loc accounted under class. done may
+// be nil.
+func (s *System) Write(loc Location, n uint64, class stats.TrafficClass, done func()) {
+	s.Stats.AddBytes(loc.Level, class, n)
+	s.Device(loc.Level).Submit(dram.Request{Addr: loc.DevAddr, Bytes: n, Write: true, Done: done})
+}
+
+// ServiceDemand accounts a demand access of one subblock satisfied at loc
+// and performs it: reads invoke done at data return; writes complete
+// immediately after submission (write-release semantics at the memory
+// controller) while still occupying bandwidth.
+func (s *System) ServiceDemand(loc Location, write bool, done func()) {
+	if loc.Level == stats.NM {
+		s.Stats.ServicedNM++
+	} else {
+		s.Stats.ServicedFM++
+	}
+	if write {
+		s.Write(loc, memunits.SubblockSize, stats.Demand, nil)
+		if done != nil {
+			done()
+		}
+		return
+	}
+	s.Read(loc, memunits.SubblockSize, stats.Demand, done)
+}
+
+// ExchangeSubblocks models a hardware swap of one subblock between two
+// locations: both sides are read and rewritten at the opposite location.
+// The demand side is NOT included; callers account it separately. fin (may
+// be nil) runs when both writes complete.
+func (s *System) ExchangeSubblocks(a, b Location, fin func()) {
+	join := dram.Join(2, fin)
+	s.Read(a, memunits.SubblockSize, stats.Migration, func() {
+		s.Write(b, memunits.SubblockSize, stats.Migration, join)
+	})
+	s.Read(b, memunits.SubblockSize, stats.Migration, func() {
+		s.Write(a, memunits.SubblockSize, stats.Migration, join)
+	})
+}
+
+// Audit verifies that ctl's Locate is a bijection over every flat subblock:
+// each maps to a unique in-range, aligned device location of the right
+// capacity. It is O(total subblocks) and intended for small test machines
+// and end-of-run checks.
+func Audit(ctl Controller, nmCap, fmCap uint64) error {
+	totalSubs := memunits.SubblocksIn(nmCap + fmCap)
+	seenNM := make([]bool, memunits.SubblocksIn(nmCap))
+	seenFM := make([]bool, memunits.SubblocksIn(fmCap))
+	for sb := uint64(0); sb < totalSubs; sb++ {
+		pa := memunits.SubblockBase(sb)
+		loc := ctl.Locate(pa)
+		if loc.DevAddr%memunits.SubblockSize != 0 {
+			return fmt.Errorf("audit: subblock %d maps to unaligned %s address %#x", sb, loc.Level, loc.DevAddr)
+		}
+		idx := loc.DevAddr / memunits.SubblockSize
+		var seen []bool
+		if loc.Level == stats.NM {
+			seen = seenNM
+		} else {
+			seen = seenFM
+		}
+		if idx >= uint64(len(seen)) {
+			return fmt.Errorf("audit: subblock %d maps beyond %s capacity: %#x", sb, loc.Level, loc.DevAddr)
+		}
+		if seen[idx] {
+			return fmt.Errorf("audit: two subblocks map to %s %#x (second: flat %#x)", loc.Level, loc.DevAddr, pa)
+		}
+		seen[idx] = true
+	}
+	return nil
+}
+
+// AuditSample is a cheaper spot-check over a stride of subblocks, for
+// larger configurations: it verifies alignment and range, and injectivity
+// among the sampled set.
+func AuditSample(ctl Controller, nmCap, fmCap uint64, stride uint64) error {
+	if stride == 0 {
+		stride = 1
+	}
+	type key struct {
+		level stats.MemLevel
+		addr  uint64
+	}
+	seen := make(map[key]uint64)
+	totalSubs := memunits.SubblocksIn(nmCap + fmCap)
+	for sb := uint64(0); sb < totalSubs; sb += stride {
+		pa := memunits.SubblockBase(sb)
+		loc := ctl.Locate(pa)
+		if loc.DevAddr%memunits.SubblockSize != 0 {
+			return fmt.Errorf("audit: unaligned %s address %#x", loc.Level, loc.DevAddr)
+		}
+		cap := nmCap
+		if loc.Level == stats.FM {
+			cap = fmCap
+		}
+		if loc.DevAddr >= cap {
+			return fmt.Errorf("audit: %s address %#x beyond capacity %#x", loc.Level, loc.DevAddr, cap)
+		}
+		k := key{loc.Level, loc.DevAddr}
+		if prev, dup := seen[k]; dup {
+			return fmt.Errorf("audit: flat %#x and %#x collide at %s %#x", prev, pa, loc.Level, loc.DevAddr)
+		}
+		seen[k] = pa
+	}
+	return nil
+}

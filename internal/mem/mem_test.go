@@ -1,0 +1,156 @@
+package mem
+
+import (
+	"testing"
+
+	"silcfm/internal/config"
+	"silcfm/internal/memunits"
+	"silcfm/internal/sim"
+	"silcfm/internal/stats"
+)
+
+func newSys() (*sim.Engine, *System) {
+	m := config.Small()
+	m.NM = config.HBM(128 << 10)
+	m.FM = config.DDR3(512 << 10)
+	eng := sim.NewEngine()
+	return eng, NewSystem(m, eng)
+}
+
+func TestAddressHelpers(t *testing.T) {
+	_, s := newSys()
+	if !s.InNM(0) || !s.InNM(128<<10-1) || s.InNM(128<<10) {
+		t.Fatal("InNM boundary wrong")
+	}
+	if s.FMDev(128<<10) != 0 {
+		t.Fatal("FMDev offset wrong")
+	}
+	if loc := s.HomeLocation(64); loc.Level != stats.NM || loc.DevAddr != 64 {
+		t.Fatalf("NM home: %+v", loc)
+	}
+	if loc := s.HomeLocation(128<<10 + 64); loc.Level != stats.FM || loc.DevAddr != 64 {
+		t.Fatalf("FM home: %+v", loc)
+	}
+}
+
+func TestReadWriteAccounting(t *testing.T) {
+	eng, s := newSys()
+	done := 0
+	s.Read(Location{Level: stats.NM, DevAddr: 0}, 64, stats.Demand, func() { done++ })
+	s.Write(Location{Level: stats.FM, DevAddr: 0}, 64, stats.Migration, nil)
+	eng.Run()
+	if done != 1 {
+		t.Fatal("read callback missing")
+	}
+	if s.Stats.Bytes[stats.NM][stats.Demand] != 64 {
+		t.Fatal("read bytes not accounted")
+	}
+	if s.Stats.Bytes[stats.FM][stats.Migration] != 64 {
+		t.Fatal("write bytes not accounted")
+	}
+}
+
+func TestReadMetaAccountsBothClasses(t *testing.T) {
+	eng, s := newSys()
+	s.ReadMeta(Location{Level: stats.NM, DevAddr: 0}, 64, 8, stats.Demand, nil)
+	eng.Run()
+	if s.Stats.Bytes[stats.NM][stats.Demand] != 64 || s.Stats.Bytes[stats.NM][stats.Metadata] != 8 {
+		t.Fatalf("bytes: %+v", s.Stats.Bytes)
+	}
+}
+
+func TestServiceDemandCounts(t *testing.T) {
+	eng, s := newSys()
+	reads := 0
+	s.ServiceDemand(Location{Level: stats.NM, DevAddr: 0}, false, func() { reads++ })
+	s.ServiceDemand(Location{Level: stats.FM, DevAddr: 0}, true, func() { reads++ })
+	eng.Run()
+	if reads != 2 {
+		t.Fatal("callbacks")
+	}
+	if s.Stats.ServicedNM != 1 || s.Stats.ServicedFM != 1 {
+		t.Fatalf("serviced: NM=%d FM=%d", s.Stats.ServicedNM, s.Stats.ServicedFM)
+	}
+}
+
+func TestExchangeSubblocksTraffic(t *testing.T) {
+	eng, s := newSys()
+	finished := false
+	s.ExchangeSubblocks(
+		Location{Level: stats.NM, DevAddr: 0},
+		Location{Level: stats.FM, DevAddr: 0},
+		func() { finished = true })
+	eng.Run()
+	if !finished {
+		t.Fatal("exchange completion callback missing")
+	}
+	// 64B read + 64B write on each level.
+	if s.Stats.Bytes[stats.NM][stats.Migration] != 128 || s.Stats.Bytes[stats.FM][stats.Migration] != 128 {
+		t.Fatalf("exchange bytes: %+v", s.Stats.Bytes)
+	}
+	if s.NM.Stats().Reads != 1 || s.NM.Stats().Writes != 1 || s.FM.Stats().Reads != 1 || s.FM.Stats().Writes != 1 {
+		t.Fatal("device ops wrong")
+	}
+}
+
+// fakeCtl wraps an explicit mapping for audit tests.
+type fakeCtl struct {
+	m map[uint64]Location
+}
+
+func (f *fakeCtl) Name() string     { return "fake" }
+func (f *fakeCtl) Handle(a *Access) {}
+func (f *fakeCtl) Locate(pa uint64) Location {
+	if loc, ok := f.m[memunits.AlignSubblock(pa)]; ok {
+		return loc
+	}
+	if pa < 2048 {
+		return Location{Level: stats.NM, DevAddr: memunits.AlignSubblock(pa)}
+	}
+	return Location{Level: stats.FM, DevAddr: memunits.AlignSubblock(pa) - 2048}
+}
+
+func TestAuditDetectsCollision(t *testing.T) {
+	nmCap, fmCap := uint64(2048), uint64(8192)
+	ok := &fakeCtl{m: map[uint64]Location{}}
+	if err := Audit(ok, nmCap, fmCap); err != nil {
+		t.Fatalf("identity mapping rejected: %v", err)
+	}
+	// Two flat subblocks to one location.
+	bad := &fakeCtl{m: map[uint64]Location{
+		0:  {Level: stats.NM, DevAddr: 64},
+		64: {Level: stats.NM, DevAddr: 64},
+	}}
+	if err := Audit(bad, nmCap, fmCap); err == nil {
+		t.Fatal("audit missed a collision")
+	}
+	// Unaligned.
+	unaligned := &fakeCtl{m: map[uint64]Location{0: {Level: stats.NM, DevAddr: 3}}}
+	if err := Audit(unaligned, nmCap, fmCap); err == nil {
+		t.Fatal("audit missed misalignment")
+	}
+	// Out of range.
+	oob := &fakeCtl{m: map[uint64]Location{0: {Level: stats.NM, DevAddr: 1 << 40}}}
+	if err := Audit(oob, nmCap, fmCap); err == nil {
+		t.Fatal("audit missed out-of-range")
+	}
+}
+
+func TestAuditSample(t *testing.T) {
+	nmCap, fmCap := uint64(2048), uint64(8192)
+	ok := &fakeCtl{m: map[uint64]Location{}}
+	if err := AuditSample(ok, nmCap, fmCap, 3); err != nil {
+		t.Fatal(err)
+	}
+	bad := &fakeCtl{m: map[uint64]Location{
+		0:   {Level: stats.FM, DevAddr: 0},
+		128: {Level: stats.FM, DevAddr: 1 << 40},
+	}}
+	if err := AuditSample(bad, nmCap, fmCap, 1); err == nil {
+		t.Fatal("sample audit missed out-of-range")
+	}
+	// Stride 0 treated as 1.
+	if err := AuditSample(ok, nmCap, fmCap, 0); err != nil {
+		t.Fatal(err)
+	}
+}

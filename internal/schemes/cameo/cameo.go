@@ -1,0 +1,184 @@
+// Package cameo implements CAMEO (§II-B): the near memory is organized as a
+// direct-mapped structure of 64 B lines; a requested far-memory line swaps
+// with the NM-resident line of its congruence group on every access, so the
+// OS sees NM+FM capacity while hot lines gravitate to NM. The remap entry
+// for a group is stored next to the data in the same NM row and fetched by
+// lengthening the burst, so each NM access needs a single memory request.
+//
+// CAMEOP is CAMEO plus a next-3-line prefetcher (§IV-A: the paper
+// additionally evaluates CAMEO with prefetching to expose spatial-locality
+// effects; 3 lines were found best).
+package cameo
+
+import (
+	"silcfm/internal/config"
+	"silcfm/internal/mem"
+	"silcfm/internal/memunits"
+	"silcfm/internal/stats"
+)
+
+// remapEntrySize is the per-group metadata carried in the extended burst.
+const remapEntrySize = 8
+
+// Controller is the CAMEO scheme.
+type Controller struct {
+	sys      *mem.System
+	slots    uint64 // NM lines = congruence groups
+	members  int    // lines per group (1 NM + FM/NM ratio)
+	prefetch int    // extra sequential lines fetched on an FM hit (CAMEOP)
+
+	// perm[g*members+m] = location index of member m of group g:
+	// location 0 is the NM slot, location k>=1 is member k's FM home.
+	perm []uint8
+}
+
+// New builds a CAMEO controller. cfg.PrefetchLines = 0 gives original
+// CAMEO; 3 gives the paper's CAMEOP.
+func New(sys *mem.System, cfg config.CAMEOConfig) *Controller {
+	slots := memunits.SubblocksIn(sys.NMCap)
+	members := int(memunits.SubblocksIn(sys.NMCap+sys.FMCap) / slots)
+	c := &Controller{
+		sys:      sys,
+		slots:    slots,
+		members:  members,
+		prefetch: cfg.PrefetchLines,
+		perm:     make([]uint8, slots*uint64(members)),
+	}
+	for g := uint64(0); g < slots; g++ {
+		for m := 0; m < members; m++ {
+			c.perm[g*uint64(members)+uint64(m)] = uint8(m)
+		}
+	}
+	return c
+}
+
+// Name implements mem.Controller.
+func (c *Controller) Name() string {
+	if c.prefetch > 0 {
+		return "camp"
+	}
+	return "cam"
+}
+
+// group decomposes a flat subblock number.
+func (c *Controller) group(sb uint64) (g uint64, member int) {
+	return sb % c.slots, int(sb / c.slots)
+}
+
+// locationOf returns member m of group g's current location index.
+func (c *Controller) locationOf(g uint64, m int) int {
+	return int(c.perm[g*uint64(c.members)+uint64(m)])
+}
+
+// locAddr converts a location index of group g to a device location.
+func (c *Controller) locAddr(g uint64, loc int) mem.Location {
+	if loc == 0 {
+		return mem.Location{Level: stats.NM, DevAddr: g * memunits.SubblockSize}
+	}
+	return mem.Location{
+		Level:   stats.FM,
+		DevAddr: (uint64(loc-1)*c.slots + g) * memunits.SubblockSize,
+	}
+}
+
+// Locate implements mem.Controller.
+func (c *Controller) Locate(pa uint64) mem.Location {
+	g, m := c.group(memunits.SubblockOf(pa))
+	return c.locAddr(g, c.locationOf(g, m))
+}
+
+// swapIntoNM updates the permutation so member m occupies the NM slot; the
+// previous NM resident moves to m's old location. It returns m's old
+// location index.
+func (c *Controller) swapIntoNM(g uint64, m int) int {
+	base := g * uint64(c.members)
+	oldLoc := int(c.perm[base+uint64(m)])
+	for r := 0; r < c.members; r++ {
+		if c.perm[base+uint64(r)] == 0 {
+			c.perm[base+uint64(r)] = uint8(oldLoc)
+			break
+		}
+	}
+	c.perm[base+uint64(m)] = 0
+	return oldLoc
+}
+
+// Handle implements mem.Controller.
+func (c *Controller) Handle(a *mem.Access) {
+	st := c.sys.Stats
+	st.LLCMisses++
+	sb := memunits.SubblockOf(a.PAddr)
+	g, m := c.group(sb)
+	loc := c.locationOf(g, m)
+	nmSlot := c.locAddr(g, 0)
+
+	if loc == 0 {
+		// NM hit: one extended-burst access returns remap entry + data.
+		st.ServicedNM++
+		if a.Write {
+			c.sys.Write(nmSlot, memunits.SubblockSize, stats.Demand, nil)
+			st.AddBytes(stats.NM, stats.Metadata, remapEntrySize)
+			if a.Done != nil {
+				a.Done()
+			}
+		} else {
+			c.sys.ReadMeta(nmSlot, memunits.SubblockSize, remapEntrySize, stats.Demand, a.Done)
+		}
+		return
+	}
+
+	// FM resident. The NM line must be read anyway: its extended burst
+	// holds the remap entry that proves the miss, and its data is the swap
+	// victim. The FM access is serialized behind it (§III-F: the remap
+	// entry has to be checked first in NM prior to accessing FM).
+	st.ServicedFM++
+	fmLoc := c.locAddr(g, loc)
+	evictLoc := fmLoc // the victim moves to the requested line's old home
+	c.swapIntoNM(g, m)
+	c.sys.ReadMeta(nmSlot, memunits.SubblockSize, remapEntrySize, stats.Migration, func() {
+		if a.Write {
+			// Write allocate: new data lands in NM, victim goes to FM.
+			c.sys.Write(nmSlot, memunits.SubblockSize, stats.Demand, nil)
+			c.sys.Write(evictLoc, memunits.SubblockSize, stats.Migration, nil)
+			if a.Done != nil {
+				a.Done()
+			}
+			return
+		}
+		c.sys.Read(fmLoc, memunits.SubblockSize, stats.Demand, func() {
+			// Demand data returned; install + evict in the background.
+			if a.Done != nil {
+				a.Done()
+			}
+			c.sys.Write(nmSlot, memunits.SubblockSize, stats.Migration, nil)
+			c.sys.Write(evictLoc, memunits.SubblockSize, stats.Migration, nil)
+		})
+	})
+	c.maybePrefetch(sb)
+}
+
+// maybePrefetch swaps in the next lines after a demand miss to FM (CAMEOP:
+// "a prefetcher that fetches extra 3 lines along with the miss", §IV-A).
+func (c *Controller) maybePrefetch(sb uint64) {
+	if c.prefetch == 0 {
+		return
+	}
+	total := memunits.SubblocksIn(c.sys.NMCap + c.sys.FMCap)
+	for i := 1; i <= c.prefetch; i++ {
+		nsb := sb + uint64(i)
+		if nsb >= total {
+			break
+		}
+		g, m := c.group(nsb)
+		loc := c.locationOf(g, m)
+		if loc == 0 {
+			continue // already NM resident
+		}
+		fmLoc := c.locAddr(g, loc)
+		nmSlot := c.locAddr(g, 0)
+		c.swapIntoNM(g, m)
+		// Prefetch swap traffic: read both sides, write both sides.
+		c.sys.ExchangeSubblocks(fmLoc, nmSlot, nil)
+		c.sys.Stats.SwapsIn++
+	}
+}

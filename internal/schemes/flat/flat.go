@@ -1,0 +1,63 @@
+// Package flat implements the two non-migrating schemes of the paper's
+// evaluation:
+//
+//   - Baseline: the normalization point of every figure — a system without
+//     die-stacked DRAM at all. Every access is serviced by far memory.
+//   - Random: NM and FM both OS-visible, pages placed randomly with no
+//     regard to bandwidth/latency differences and never migrated (the
+//     "rand" bar of Figures 6 and 7). The random placement itself is done
+//     by the vm package's PolicyRandom; this controller simply routes by
+//     address.
+package flat
+
+import (
+	"silcfm/internal/mem"
+	"silcfm/internal/stats"
+)
+
+// Baseline services everything from FM. Flat addresses are FM-local
+// (the machine has no NM range).
+type Baseline struct {
+	sys *mem.System
+}
+
+// NewBaseline builds the no-NM controller.
+func NewBaseline(sys *mem.System) *Baseline { return &Baseline{sys: sys} }
+
+// Name implements mem.Controller.
+func (b *Baseline) Name() string { return "base" }
+
+// Handle implements mem.Controller.
+func (b *Baseline) Handle(a *mem.Access) {
+	b.sys.Stats.LLCMisses++
+	b.sys.ServiceDemand(b.Locate(a.PAddr), a.Write, a.Done)
+}
+
+// Locate implements mem.Controller: identity into FM.
+func (b *Baseline) Locate(pa uint64) mem.Location {
+	return mem.Location{Level: stats.FM, DevAddr: pa}
+}
+
+// Static routes by the flat address with no remapping: accesses to the NM
+// range go to NM, the rest to FM. Combined with random page placement it is
+// the paper's Random scheme; combined with interleaved placement it is the
+// "static placement scheme without data migration" that SILC-FM's headline
+// 82% improvement is measured against.
+type Static struct {
+	sys *mem.System
+}
+
+// NewStatic builds the static-placement controller.
+func NewStatic(sys *mem.System) *Static { return &Static{sys: sys} }
+
+// Name implements mem.Controller.
+func (s *Static) Name() string { return "rand" }
+
+// Handle implements mem.Controller.
+func (s *Static) Handle(a *mem.Access) {
+	s.sys.Stats.LLCMisses++
+	s.sys.ServiceDemand(s.Locate(a.PAddr), a.Write, a.Done)
+}
+
+// Locate implements mem.Controller: the home mapping.
+func (s *Static) Locate(pa uint64) mem.Location { return s.sys.HomeLocation(pa) }

@@ -1,0 +1,210 @@
+// Package hma implements the epoch-based OS-managed scheme the paper uses
+// as its software baseline (§II-C, HMA). The OS counts page accesses
+// through PTE reference bits; at each epoch boundary it sweeps the counters,
+// selects pages whose count crossed a threshold, and bulk-migrates them
+// into NM — paying per-page software costs (PTE updates, TLB shootdowns)
+// plus the bulk transfer itself, during which demand accesses stall. NM is
+// an OS-reserved region: first-touch allocation places application pages in
+// FM only (vm.PolicyFMFirst) and only epoch migration fills NM.
+//
+// The OS work (PTE updates, TLB shootdowns, counter sweep) stalls demand
+// for its duration; the bulk page copies themselves are issued as
+// background-priority DMA transfers that compete for device bandwidth
+// without ever delaying demand reads. See DESIGN.md.
+package hma
+
+import (
+	"sort"
+
+	"silcfm/internal/config"
+	"silcfm/internal/mem"
+	"silcfm/internal/memunits"
+	"silcfm/internal/stats"
+)
+
+// Controller is the epoch-based OS scheme.
+type Controller struct {
+	sys *mem.System
+	cfg config.HMAConfig
+
+	nmBlocks uint64
+	total    uint64
+
+	cur []uint32 // cur[flat block] = location block
+	inv []uint32 // inv[location block] = flat block
+	ctr []uint32 // per-flat-block access count within the epoch
+
+	freeNM []uint32 // NM location blocks never yet filled
+
+	nextEpoch    uint64
+	blockedUntil uint64
+
+	// MaxMigratePerEpoch caps the OS migration batch (a real OS bounds its
+	// stop-the-world work). Exported for tests.
+	MaxMigratePerEpoch int
+}
+
+// New builds an HMA controller over sys.
+func New(sys *mem.System, cfg config.HMAConfig) *Controller {
+	nmBlocks := memunits.BlocksIn(sys.NMCap)
+	total := memunits.BlocksIn(sys.NMCap + sys.FMCap)
+	c := &Controller{
+		sys:                sys,
+		cfg:                cfg,
+		nmBlocks:           nmBlocks,
+		total:              total,
+		cur:                make([]uint32, total),
+		inv:                make([]uint32, total),
+		ctr:                make([]uint32, total),
+		nextEpoch:          cfg.EpochCycles,
+		MaxMigratePerEpoch: 8192,
+	}
+	for b := uint64(0); b < total; b++ {
+		c.cur[b] = uint32(b)
+		c.inv[b] = uint32(b)
+	}
+	c.freeNM = make([]uint32, 0, nmBlocks)
+	for f := uint64(0); f < nmBlocks; f++ {
+		c.freeNM = append(c.freeNM, uint32(f))
+	}
+	return c
+}
+
+// Name implements mem.Controller.
+func (c *Controller) Name() string { return "hma" }
+
+// Locate implements mem.Controller.
+func (c *Controller) Locate(pa uint64) mem.Location {
+	loc := uint64(c.cur[memunits.BlockOf(pa)])
+	idx := memunits.SubblockIndex(pa)
+	if loc < c.nmBlocks {
+		return mem.Location{Level: stats.NM, DevAddr: memunits.SubblockAddr(loc, idx)}
+	}
+	return mem.Location{Level: stats.FM, DevAddr: memunits.SubblockAddr(loc-c.nmBlocks, idx)}
+}
+
+// Handle implements mem.Controller.
+func (c *Controller) Handle(a *mem.Access) {
+	c.sys.Stats.LLCMisses++
+	b := memunits.BlockOf(a.PAddr)
+	c.ctr[b]++
+
+	now := c.sys.Eng.Now()
+	if now >= c.nextEpoch {
+		c.runEpoch(now)
+	}
+	if c.blockedUntil > now {
+		// Bulk migration in progress: the request stalls behind it.
+		pa, write, done := a.PAddr, a.Write, a.Done
+		c.sys.Eng.At(c.blockedUntil, func() {
+			c.sys.ServiceDemand(c.Locate(pa), write, done)
+		})
+		return
+	}
+	c.sys.ServiceDemand(c.Locate(a.PAddr), a.Write, a.Done)
+}
+
+// runEpoch sweeps counters, migrates hot FM pages into NM (possibly
+// swapping out cold NM residents) and charges software + transfer costs.
+func (c *Controller) runEpoch(now uint64) {
+	for now >= c.nextEpoch {
+		c.nextEpoch += c.cfg.EpochCycles
+	}
+
+	// Hot FM-resident pages, hottest first.
+	type cand struct {
+		blk uint32
+		cnt uint32
+	}
+	var hot []cand
+	for b := uint64(0); b < c.total; b++ {
+		if c.ctr[b] >= c.cfg.HotThreshold && uint64(c.cur[b]) >= c.nmBlocks {
+			hot = append(hot, cand{uint32(b), c.ctr[b]})
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].cnt != hot[j].cnt {
+			return hot[i].cnt > hot[j].cnt
+		}
+		return hot[i].blk < hot[j].blk
+	})
+	if len(hot) > c.MaxMigratePerEpoch {
+		hot = hot[:c.MaxMigratePerEpoch]
+	}
+
+	// Cold NM residents, coldest first, for swap-out.
+	var cold []cand
+	if len(hot) > len(c.freeNM) {
+		for loc := uint64(0); loc < c.nmBlocks; loc++ {
+			b := c.inv[loc]
+			cold = append(cold, cand{b, c.ctr[b]})
+		}
+		sort.Slice(cold, func(i, j int) bool {
+			if cold[i].cnt != cold[j].cnt {
+				return cold[i].cnt < cold[j].cnt
+			}
+			return cold[i].blk < cold[j].blk
+		})
+	}
+
+	migrated := 0
+	coldIdx := 0
+	for _, h := range hot {
+		if n := len(c.freeNM); n > 0 {
+			frame := c.freeNM[n-1]
+			c.freeNM = c.freeNM[:n-1]
+			// One-way copy: the displaced flat NM block holds no data yet.
+			c.transferBlock(c.locOf(uint64(c.cur[h.blk])), c.locOf(uint64(frame)))
+			c.swapBlocks(uint64(h.blk), uint64(c.inv[frame]))
+			migrated++
+			continue
+		}
+		// Swap with the coldest NM resident that is colder than h.
+		for coldIdx < len(cold) && uint64(c.cur[cold[coldIdx].blk]) >= c.nmBlocks {
+			coldIdx++ // already displaced this epoch
+		}
+		if coldIdx >= len(cold) || cold[coldIdx].cnt >= h.cnt {
+			break
+		}
+		x, y := uint64(h.blk), uint64(cold[coldIdx].blk)
+		c.transferBlock(c.locOf(uint64(c.cur[x])), c.locOf(uint64(c.cur[y])))
+		c.transferBlock(c.locOf(uint64(c.cur[y])), c.locOf(uint64(c.cur[x])))
+		c.swapBlocks(x, y)
+		coldIdx++
+		migrated++
+	}
+
+	// Costs: the OS work (PTE updates, TLB shootdowns, sweep) stalls the
+	// machine; the bulk page copies are DMA transfers issued at background
+	// priority, competing for bandwidth without blocking demand reads.
+	os := c.cfg.EpochFixedOverhead + uint64(migrated)*c.cfg.PerPageOSOverhead
+	c.sys.Stats.OSOverheadCycles += os
+	c.blockedUntil = now + os
+	c.sys.Stats.Migrations += uint64(migrated)
+
+	for i := range c.ctr {
+		c.ctr[i] = 0
+	}
+}
+
+// transferBlock copies one 2 KB page from src to dst as a background DMA.
+func (c *Controller) transferBlock(src, dst mem.Location) {
+	c.sys.ReadBackground(src, memunits.BlockSize, stats.Migration, func() {
+		c.sys.Write(dst, memunits.BlockSize, stats.Migration, nil)
+	})
+}
+
+// locOf returns the device location of location-block loc.
+func (c *Controller) locOf(loc uint64) mem.Location {
+	if loc < c.nmBlocks {
+		return mem.Location{Level: stats.NM, DevAddr: memunits.BlockBase(loc)}
+	}
+	return mem.Location{Level: stats.FM, DevAddr: memunits.BlockBase(loc - c.nmBlocks)}
+}
+
+// swapBlocks exchanges the locations of flat blocks x and y.
+func (c *Controller) swapBlocks(x, y uint64) {
+	lx, ly := c.cur[x], c.cur[y]
+	c.cur[x], c.cur[y] = ly, lx
+	c.inv[lx], c.inv[ly] = uint32(y), uint32(x)
+}

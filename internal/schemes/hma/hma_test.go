@@ -1,0 +1,226 @@
+package hma
+
+import (
+	"math/rand"
+	"testing"
+
+	"silcfm/internal/config"
+	"silcfm/internal/mem"
+	"silcfm/internal/memunits"
+	"silcfm/internal/sim"
+	"silcfm/internal/stats"
+)
+
+func newTest(epoch uint64, thresh uint32) (*sim.Engine, *mem.System, *Controller) {
+	m := config.Small() // NM 4MB, FM 16MB
+	eng := sim.NewEngine()
+	sys := mem.NewSystem(m, eng)
+	cfg := config.HMAConfig{
+		EpochCycles:        epoch,
+		HotThreshold:       thresh,
+		PerPageOSOverhead:  1000,
+		EpochFixedOverhead: 5000,
+	}
+	return eng, sys, New(sys, cfg)
+}
+
+// fmAddr returns the i-th FM page's base address.
+func fmAddr(i int) uint64 { return 4<<20 + uint64(i)*memunits.BlockSize }
+
+func TestNoMigrationWithinEpoch(t *testing.T) {
+	eng, sys, c := newTest(1<<20, 4)
+	for i := 0; i < 100; i++ {
+		c.Handle(&mem.Access{PAddr: fmAddr(0)})
+		eng.Run()
+	}
+	if loc := c.Locate(fmAddr(0)); loc.Level != stats.NM {
+		// Still FM resident: migration only at epoch boundaries.
+		if sys.Stats.Migrations != 0 {
+			t.Fatal("migration before epoch boundary")
+		}
+	} else {
+		t.Fatal("page moved to NM before epoch boundary")
+	}
+	if sys.Stats.ServicedNM != 0 {
+		t.Fatal("nothing should be NM-serviced before the first epoch")
+	}
+}
+
+func TestEpochMigratesHotPages(t *testing.T) {
+	eng, sys, c := newTest(50000, 4)
+	// Heat up pages 0..9 within the first epoch.
+	for i := 0; i < 100; i++ {
+		c.Handle(&mem.Access{PAddr: fmAddr(i % 10)})
+		eng.Run()
+	}
+	if eng.Now() >= 50000 {
+		t.Fatal("warmup overran the first epoch; enlarge EpochCycles")
+	}
+	// Cross the epoch boundary and touch once to trigger the sweep.
+	eng.At(60000, func() { c.Handle(&mem.Access{PAddr: fmAddr(0)}) })
+	eng.Run()
+	for i := 0; i < 10; i++ {
+		if loc := c.Locate(fmAddr(i)); loc.Level != stats.NM {
+			t.Fatalf("hot page %d not migrated: %+v", i, loc)
+		}
+	}
+	if sys.Stats.Migrations != 10 {
+		t.Fatalf("Migrations = %d, want 10", sys.Stats.Migrations)
+	}
+	if sys.Stats.OSOverheadCycles == 0 {
+		t.Fatal("no OS overhead charged")
+	}
+	if sys.Stats.Bytes[stats.NM][stats.Migration] == 0 {
+		t.Fatal("no migration bytes accounted")
+	}
+}
+
+func TestColdPagesStayInFM(t *testing.T) {
+	eng, _, c := newTest(1000, 50)
+	for i := 0; i < 200; i++ {
+		c.Handle(&mem.Access{PAddr: fmAddr(i)}) // each page touched once
+		eng.Run()
+	}
+	eng.At(5000, func() { c.Handle(&mem.Access{PAddr: fmAddr(0)}) })
+	eng.Run()
+	moved := 0
+	for i := 0; i < 200; i++ {
+		if c.Locate(fmAddr(i)).Level == stats.NM {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d below-threshold pages migrated", moved)
+	}
+}
+
+func TestMigrationStallsDemand(t *testing.T) {
+	eng, _, c := newTest(20000, 2)
+	for i := 0; i < 50; i++ {
+		c.Handle(&mem.Access{PAddr: fmAddr(i % 5)})
+		eng.Run()
+	}
+	if eng.Now() >= 20000 {
+		t.Fatal("warmup overran the first epoch")
+	}
+	// Trigger the epoch: this access pays the migration stall.
+	var doneAt uint64
+	eng.At(25000, func() {
+		c.Handle(&mem.Access{PAddr: fmAddr(100), Done: func() { doneAt = eng.Now() }})
+	})
+	eng.Run()
+	// 5 migrations x 1000 per-page + 5000 fixed = at least 10000 cycles.
+	if doneAt < 25000+10000 {
+		t.Fatalf("demand at epoch completed at %d; expected stall past %d", doneAt, 25000+10000)
+	}
+}
+
+func TestSwapOutColdForHot(t *testing.T) {
+	// Fill NM completely, then heat a new set of pages: the next epoch
+	// must swap cold residents out.
+	m := config.Small()
+	m.NM = config.HBM(64 << 10) // 32 frames
+	m.FM = config.DDR3(256 << 10)
+	eng := sim.NewEngine()
+	sys := mem.NewSystem(m, eng)
+	c := New(sys, config.HMAConfig{EpochCycles: 1000, HotThreshold: 2, PerPageOSOverhead: 10, EpochFixedOverhead: 10})
+
+	fmBase := uint64(64 << 10)
+	page := func(i int) uint64 { return fmBase + uint64(i)*memunits.BlockSize }
+	// Epoch 1: heat pages 0..31 (fills all 32 NM frames).
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 32; i++ {
+			c.Handle(&mem.Access{PAddr: page(i)})
+		}
+	}
+	eng.Run()
+	eng.At(1100, func() { c.Handle(&mem.Access{PAddr: page(0)}) })
+	eng.Run()
+	// Epoch 2: heat pages 40..49 much hotter than the old set.
+	for r := 0; r < 8; r++ {
+		for i := 40; i < 50; i++ {
+			c.Handle(&mem.Access{PAddr: page(i)})
+		}
+	}
+	eng.Run()
+	eng.At(50000, func() { c.Handle(&mem.Access{PAddr: page(0)}) })
+	eng.Run()
+	inNM := 0
+	for i := 40; i < 50; i++ {
+		if c.Locate(page(i)).Level == stats.NM {
+			inNM++
+		}
+	}
+	if inNM != 10 {
+		t.Fatalf("only %d/10 newly hot pages swapped into full NM", inNM)
+	}
+	if err := mem.Audit(c, sys.NMCap, sys.FMCap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrationCapRespected(t *testing.T) {
+	eng, sys, c := newTest(1000, 1)
+	c.MaxMigratePerEpoch = 5
+	for i := 0; i < 50; i++ {
+		c.Handle(&mem.Access{PAddr: fmAddr(i)})
+		c.Handle(&mem.Access{PAddr: fmAddr(i)})
+	}
+	eng.Run()
+	eng.At(2000, func() { c.Handle(&mem.Access{PAddr: fmAddr(200)}) })
+	eng.Run()
+	if sys.Stats.Migrations != 5 {
+		t.Fatalf("Migrations = %d, want cap 5", sys.Stats.Migrations)
+	}
+}
+
+func TestAuditAfterRandomTraffic(t *testing.T) {
+	m := config.Small()
+	m.NM = config.HBM(256 << 10)
+	m.FM = config.DDR3(1 << 20)
+	eng := sim.NewEngine()
+	sys := mem.NewSystem(m, eng)
+	c := New(sys, config.HMAConfig{EpochCycles: 5000, HotThreshold: 3, PerPageOSOverhead: 10, EpochFixedOverhead: 10})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20000; i++ {
+		pa := uint64(256<<10) + uint64(rng.Intn(1<<20))&^63
+		c.Handle(&mem.Access{PAddr: pa, Write: rng.Intn(4) == 0})
+		if i%500 == 0 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	if err := mem.Audit(c, sys.NMCap, sys.FMCap); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats.Migrations == 0 {
+		t.Fatal("no migrations under hot traffic")
+	}
+}
+
+func TestCountersResetEachEpoch(t *testing.T) {
+	eng, sys, c := newTest(1000, 10)
+	// 6 accesses in epoch 1, 6 in epoch 2: never crosses 10 in one epoch.
+	for i := 0; i < 6; i++ {
+		c.Handle(&mem.Access{PAddr: fmAddr(3)})
+	}
+	eng.Run()
+	eng.At(1200, func() {
+		for i := 0; i < 6; i++ {
+			c.Handle(&mem.Access{PAddr: fmAddr(3)})
+		}
+	})
+	eng.Run()
+	eng.At(2400, func() { c.Handle(&mem.Access{PAddr: fmAddr(3)}) })
+	eng.Run()
+	if sys.Stats.Migrations != 0 {
+		t.Fatal("stale counts accumulated across epochs")
+	}
+}
+
+func TestName(t *testing.T) {
+	_, _, c := newTest(1000, 1)
+	if c.Name() != "hma" {
+		t.Fatal("name")
+	}
+}

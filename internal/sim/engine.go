@@ -1,0 +1,104 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulator components (cores, caches, memory controllers, DRAM
+// channels) share one Engine. Components schedule callbacks at absolute or
+// relative cycle times; the engine dispatches them in time order, breaking
+// ties by scheduling order so that a given seed always produces the same
+// simulation. Everything runs on the calling goroutine.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in CPU clock cycles.
+type Cycle = uint64
+
+type event struct {
+	when Cycle
+	seq  uint64 // tie-break: FIFO among same-cycle events
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	pq  eventHeap
+	now Cycle
+	seq uint64
+}
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Pending reports the number of scheduled events not yet dispatched.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn to run at absolute cycle when. Scheduling in the past
+// (when < Now) runs fn at the current cycle instead; the simulation clock
+// never moves backwards.
+func (e *Engine) At(when Cycle, fn func()) {
+	if when < e.now {
+		when = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, event{when: when, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, fn func()) { e.At(e.now+delay, fn) }
+
+// Step dispatches the earliest pending event, advancing the clock to its
+// time. It reports whether an event was dispatched.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.when
+	ev.fn()
+	return true
+}
+
+// Run dispatches events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil dispatches events with time <= limit. The clock ends at the time
+// of the last dispatched event (or limit if the next event lies beyond it).
+func (e *Engine) RunUntil(limit Cycle) {
+	for len(e.pq) > 0 && e.pq[0].when <= limit {
+		e.Step()
+	}
+	if e.now < limit && (len(e.pq) == 0 || e.pq[0].when > limit) {
+		e.now = limit
+	}
+}
+
+// RunWhile dispatches events until cond reports false or no events remain.
+// cond is checked before every event dispatch.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}

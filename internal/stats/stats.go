@@ -1,0 +1,348 @@
+// Package stats collects and reduces simulation counters into the metrics
+// the paper reports: access rate (Eq. 1), demand-bandwidth split between NM
+// and FM (Figure 8), speedup over the no-NM baseline (Figures 6, 7, 9) and
+// supporting distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// MemLevel distinguishes the two flat-memory levels.
+type MemLevel int
+
+const (
+	NM MemLevel = iota // near memory (die-stacked HBM)
+	FM                 // far memory (off-chip DDR3)
+)
+
+func (l MemLevel) String() string {
+	if l == NM {
+		return "NM"
+	}
+	return "FM"
+}
+
+// TrafficClass separates demand traffic from scheme-generated traffic;
+// Figure 8 plots demand traffic only.
+type TrafficClass int
+
+const (
+	Demand    TrafficClass = iota // data requested by the cores
+	Migration                     // swap/migration/prefetch/writeback traffic
+	Metadata                      // remap-entry and counter traffic
+)
+
+func (c TrafficClass) String() string {
+	switch c {
+	case Demand:
+		return "demand"
+	case Migration:
+		return "migration"
+	default:
+		return "metadata"
+	}
+}
+
+// Memory accumulates per-run memory-system counters. Not safe for
+// concurrent use; each simulation owns one.
+type Memory struct {
+	LLCMisses        uint64       // requests entering the flat memory system
+	ServicedNM       uint64       // demand requests whose data came from NM
+	ServicedFM       uint64       // demand requests whose data came from FM
+	Bytes            [2][3]uint64 // [level][class] bytes moved
+	SwapsIn          uint64       // subblocks/blocks moved FM -> NM
+	SwapsOut         uint64       // subblocks/blocks moved NM -> FM
+	Locks            uint64       // blocks locked (SILC-FM)
+	Unlocks          uint64
+	Migrations       uint64 // whole-block migrations (PoM/HMA)
+	BypassedAccesses uint64 // demand requests deliberately serviced from FM while bypassing
+	PredictorHits    uint64
+	PredictorMisses  uint64
+	RowHits          [2]uint64
+	RowMisses        [2]uint64
+	// ExtraEnergyPJ accounts energy for traffic modeled in aggregate
+	// rather than submitted to a device (HMA's bulk epoch migrations).
+	ExtraEnergyPJ float64
+	// OSOverheadCycles accumulates software costs (PTE updates, TLB
+	// shootdowns, epoch sweeps) charged by OS-managed schemes.
+	OSOverheadCycles uint64
+}
+
+// AddBytes records traffic.
+func (m *Memory) AddBytes(level MemLevel, class TrafficClass, n uint64) {
+	m.Bytes[level][class] += n
+}
+
+// AccessRate implements the paper's Equation 1: the fraction of LLC misses
+// serviced from NM. Returns 0 for an idle run.
+func (m *Memory) AccessRate() float64 {
+	if m.LLCMisses == 0 {
+		return 0
+	}
+	return float64(m.ServicedNM) / float64(m.LLCMisses)
+}
+
+// DemandNMFraction is Figure 8's metric: NM's share of demand-traffic bytes.
+func (m *Memory) DemandNMFraction() float64 {
+	nm, fm := m.Bytes[NM][Demand], m.Bytes[FM][Demand]
+	if nm+fm == 0 {
+		return 0
+	}
+	return float64(nm) / float64(nm+fm)
+}
+
+// TotalBytes returns all bytes moved at a level.
+func (m *Memory) TotalBytes(level MemLevel) uint64 {
+	t := uint64(0)
+	for _, b := range m.Bytes[level] {
+		t += b
+	}
+	return t
+}
+
+// MigrationOverheadRatio returns migration+metadata bytes per demand byte, a
+// measure of the bandwidth tax a scheme pays (PoM's weakness).
+func (m *Memory) MigrationOverheadRatio() float64 {
+	demand := m.Bytes[NM][Demand] + m.Bytes[FM][Demand]
+	if demand == 0 {
+		return 0
+	}
+	extra := m.Bytes[NM][Migration] + m.Bytes[FM][Migration] +
+		m.Bytes[NM][Metadata] + m.Bytes[FM][Metadata]
+	return float64(extra) / float64(demand)
+}
+
+// PredictorAccuracy returns the way/location predictor hit rate.
+func (m *Memory) PredictorAccuracy() float64 {
+	t := m.PredictorHits + m.PredictorMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(m.PredictorHits) / float64(t)
+}
+
+// Core accumulates per-core execution counters.
+type Core struct {
+	Instructions uint64
+	MemRefs      uint64
+	L1Hits       uint64
+	L2Hits       uint64
+	LLCMisses    uint64
+	FinishCycle  uint64
+	StallCycles  uint64
+}
+
+// MPKI returns LLC misses per kilo-instruction for this core.
+func (c *Core) MPKI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(c.LLCMisses) / float64(c.Instructions)
+}
+
+// Run aggregates one complete simulation.
+type Run struct {
+	Workload       string
+	Scheme         string
+	Cores          []Core
+	Mem            Memory
+	Cycles         uint64  // execution time: when all cores finished
+	EnergyNJ       float64 // total memory-system energy, nanojoules
+	FootprintPages uint64  // unique 2KB pages touched
+}
+
+// TotalInstructions sums instructions over cores.
+func (r *Run) TotalInstructions() uint64 {
+	var t uint64
+	for i := range r.Cores {
+		t += r.Cores[i].Instructions
+	}
+	return t
+}
+
+// AvgMPKI returns the per-core average MPKI (Table III reports per-core).
+func (r *Run) AvgMPKI() float64 {
+	if len(r.Cores) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range r.Cores {
+		s += r.Cores[i].MPKI()
+	}
+	return s / float64(len(r.Cores))
+}
+
+// Speedup returns baselineCycles / r.Cycles, the paper's figure of merit.
+func (r *Run) Speedup(baselineCycles uint64) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(baselineCycles) / float64(r.Cycles)
+}
+
+// EDP returns the energy-delay product in nanojoule-cycles.
+func (r *Run) EDP() float64 { return r.EnergyNJ * float64(r.Cycles) }
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive values.
+func GeoMean(xs []float64) float64 {
+	s, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			s += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Histogram is a simple fixed-bucket histogram for latency distributions.
+type Histogram struct {
+	BucketWidth uint64
+	Counts      []uint64
+	N           uint64
+	Sum         uint64
+	Max         uint64
+}
+
+// NewHistogram creates a histogram with the given bucket width and count.
+func NewHistogram(bucketWidth uint64, buckets int) *Histogram {
+	return &Histogram{BucketWidth: bucketWidth, Counts: make([]uint64, buckets)}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(v uint64) {
+	i := v / h.BucketWidth
+	if int(i) >= len(h.Counts) {
+		i = uint64(len(h.Counts) - 1)
+	}
+	h.Counts[i]++
+	h.N++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Percentile returns an upper bound on the p-th percentile (0<p<=100) using
+// bucket upper edges.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.N == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.N)))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return uint64(i+1) * h.BucketWidth
+		}
+	}
+	return h.Max
+}
+
+// Table formats labeled rows for experiment output.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := t.Title + "\n"
+	line := ""
+	for i, c := range t.Columns {
+		line += pad(c, widths[i]) + "  "
+	}
+	out += line + "\n"
+	for _, r := range t.Rows {
+		line = ""
+		for i, c := range r {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			line += pad(c, w) + "  "
+		}
+		out += line + "\n"
+	}
+	return out
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+// CSV renders the table as comma-separated values (header row first);
+// cells containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// SortedKeys returns map keys in sorted order, for deterministic output.
+func SortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// F formats a float to 3 decimal places for table cells.
+func F(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// F2 formats a float to 2 decimal places for table cells.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }

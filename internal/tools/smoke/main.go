@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"silcfm/internal/config"
+	"silcfm/internal/harness"
+	"silcfm/internal/workload"
+)
+
+func main() {
+	m := config.Default()
+	wls := workload.Names
+	if len(os.Args) > 1 {
+		wls = os.Args[1:]
+	}
+	schemes := []config.SchemeName{"base", "rand", "hma", "cam", "camp", "pom", "silc"}
+	type key struct{ wl string; s config.SchemeName }
+	results := map[key]*harness.Result{}
+	var mu sync.Mutex
+	sem := make(chan struct{}, 2)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for _, wl := range wls {
+		for _, s := range schemes {
+			wl, s := wl, s
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				mm := m
+				mm.Scheme = s
+				r, err := harness.Run(harness.Spec{Machine: mm, Workload: wl, InstrPerCore: 1_000_000, ScaleInstrByClass: true})
+				if err != nil {
+					fmt.Println(wl, s, "ERR", err)
+					return
+				}
+				mu.Lock()
+				results[key{wl, s}] = r
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	fmt.Printf("total wall: %v\n", time.Since(t0).Round(time.Second))
+	fmt.Printf("%-8s %6s |", "wl", "mpki")
+	for _, s := range schemes[1:] {
+		fmt.Printf(" %5s", s)
+	}
+	fmt.Println(" | silc-ar")
+	for _, wl := range wls {
+		b := results[key{wl, "base"}]
+		if b == nil {
+			continue
+		}
+		fmt.Printf("%-8s %6.1f |", wl, b.AvgMPKI())
+		for _, s := range schemes[1:] {
+			r := results[key{wl, s}]
+			if r == nil {
+				fmt.Printf("  err ")
+				continue
+			}
+			fmt.Printf(" %5.2f", float64(b.Cycles)/float64(r.Cycles))
+		}
+		sr := results[key{wl, "silc"}]
+		fmt.Printf(" | %.2f\n", sr.Mem.AccessRate())
+	}
+}

@@ -1,0 +1,152 @@
+// Package vm implements the virtual-to-physical address translation the
+// evaluation needs (§IV-A): 2 KB pages, per-core private address spaces
+// (multiprogrammed rate mode must not share physical pages across
+// instances), and first-touch frame allocation under pluggable placement
+// policies:
+//
+//   - PolicyInterleaved: frames handed out round-robin across the whole
+//     flat NM+FM space (hardware schemes' OS-neutral layout).
+//   - PolicyRandom:      frames chosen uniformly at random (the paper's
+//     "Random" static-placement scheme, and the stacked baseline of Fig. 6).
+//   - PolicyFMFirst:     frames allocated from FM only (the no-NM baseline,
+//     and HMA's initial layout before epoch migration).
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"silcfm/internal/memunits"
+)
+
+// Policy selects the first-touch frame allocation order.
+type Policy int
+
+const (
+	PolicyInterleaved Policy = iota
+	PolicyRandom
+	PolicyFMFirst
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyInterleaved:
+		return "interleaved"
+	case PolicyRandom:
+		return "random"
+	default:
+		return "fm-first"
+	}
+}
+
+// AddressSpace allocates physical frames for virtual pages on first touch.
+// One AddressSpace serves all cores; virtual addresses are made private per
+// core by the caller embedding the core ID in high VA bits (see CoreVA).
+type AddressSpace struct {
+	nmFrames     uint64            // frames in [0, nmFrames) live in NM
+	total        uint64            // total frames (NM + FM)
+	pageTable    map[uint64]uint64 // vpage -> pframe
+	freeOrder    []uint64          // remaining frames in hand-out order
+	next         int
+	policy       Policy
+	pagesTouched uint64
+}
+
+// NewAddressSpace builds an allocator over nmBytes of NM followed by
+// fmBytes of FM (NM occupies the lower physical addresses, §III).
+func NewAddressSpace(nmBytes, fmBytes uint64, policy Policy, seed int64) *AddressSpace {
+	nmFrames := memunits.BlocksIn(nmBytes)
+	total := nmFrames + memunits.BlocksIn(fmBytes)
+	a := &AddressSpace{
+		nmFrames:  nmFrames,
+		total:     total,
+		pageTable: make(map[uint64]uint64),
+		policy:    policy,
+	}
+	switch policy {
+	case PolicyFMFirst:
+		a.freeOrder = make([]uint64, 0, total-nmFrames)
+		for f := nmFrames; f < total; f++ {
+			a.freeOrder = append(a.freeOrder, f)
+		}
+	case PolicyRandom:
+		a.freeOrder = make([]uint64, total)
+		for f := range a.freeOrder {
+			a.freeOrder[f] = uint64(f)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(a.freeOrder), func(i, j int) {
+			a.freeOrder[i], a.freeOrder[j] = a.freeOrder[j], a.freeOrder[i]
+		})
+	default: // interleaved: spread consecutive allocations across the space
+		a.freeOrder = make([]uint64, 0, total)
+		// A stride walk with a stride coprime to the frame count visits
+		// every frame exactly once while giving early allocations a uniform
+		// NM/FM mix.
+		stride := total*2/5 | 1
+		for gcd(stride, total) != 1 {
+			stride += 2
+		}
+		f := uint64(0)
+		for seen := uint64(0); seen < total; seen++ {
+			a.freeOrder = append(a.freeOrder, f)
+			f = (f + stride) % total
+		}
+	}
+	return a
+}
+
+// CoreVA embeds a core ID into a virtual address so multiprogrammed
+// instances never share pages.
+func CoreVA(core int, va uint64) uint64 {
+	return uint64(core)<<44 | va&(1<<44-1)
+}
+
+// Translate maps a virtual address to a flat physical address, allocating a
+// frame on first touch. It returns an error when physical memory is
+// exhausted.
+func (a *AddressSpace) Translate(va uint64) (uint64, error) {
+	vpage := va >> 11
+	pf, ok := a.pageTable[vpage]
+	if !ok {
+		if a.next >= len(a.freeOrder) {
+			return 0, fmt.Errorf("vm: out of physical memory (%d frames)", a.total)
+		}
+		pf = a.freeOrder[a.next]
+		a.next++
+		a.pageTable[vpage] = pf
+		a.pagesTouched++
+	}
+	return pf<<11 | va&(memunits.BlockSize-1), nil
+}
+
+// MustTranslate is Translate for callers that have pre-sized memory.
+func (a *AddressSpace) MustTranslate(va uint64) uint64 {
+	pa, err := a.Translate(va)
+	if err != nil {
+		panic(err)
+	}
+	return pa
+}
+
+// PagesTouched returns the number of allocated pages (Table III footprint).
+func (a *AddressSpace) PagesTouched() uint64 { return a.pagesTouched }
+
+// InNM reports whether physical address pa falls in the NM range.
+func (a *AddressSpace) InNM(pa uint64) bool { return pa>>11 < a.nmFrames }
+
+// NMFrames returns the number of NM frames.
+func (a *AddressSpace) NMFrames() uint64 { return a.nmFrames }
+
+// TotalFrames returns the total frame count.
+func (a *AddressSpace) TotalFrames() uint64 { return a.total }
+
+// FramesFree returns how many frames remain unallocated.
+func (a *AddressSpace) FramesFree() uint64 { return uint64(len(a.freeOrder) - a.next) }
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,155 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"silcfm/internal/memunits"
+)
+
+const (
+	nmBytes = 1 << 20 // 512 frames
+	fmBytes = 4 << 20 // 2048 frames
+)
+
+func TestTranslateStable(t *testing.T) {
+	a := NewAddressSpace(nmBytes, fmBytes, PolicyInterleaved, 1)
+	va := uint64(0x12345)
+	p1 := a.MustTranslate(va)
+	p2 := a.MustTranslate(va)
+	if p1 != p2 {
+		t.Fatalf("translation not stable: %x vs %x", p1, p2)
+	}
+	if p1&(memunits.BlockSize-1) != va&(memunits.BlockSize-1) {
+		t.Fatal("page offset not preserved")
+	}
+}
+
+func TestDistinctPagesDistinctFrames(t *testing.T) {
+	for _, pol := range []Policy{PolicyInterleaved, PolicyRandom, PolicyFMFirst} {
+		a := NewAddressSpace(nmBytes, fmBytes, pol, 1)
+		frames := map[uint64]bool{}
+		n := 500
+		for i := 0; i < n; i++ {
+			pa := a.MustTranslate(uint64(i) * memunits.BlockSize)
+			f := pa >> 11
+			if frames[f] {
+				t.Fatalf("%v: frame %d handed out twice", pol, f)
+			}
+			frames[f] = true
+		}
+		if a.PagesTouched() != uint64(n) {
+			t.Fatalf("%v: PagesTouched = %d, want %d", pol, a.PagesTouched(), n)
+		}
+	}
+}
+
+func TestFMFirstNeverUsesNM(t *testing.T) {
+	a := NewAddressSpace(nmBytes, fmBytes, PolicyFMFirst, 1)
+	for i := 0; i < 2048; i++ {
+		pa := a.MustTranslate(uint64(i) * memunits.BlockSize)
+		if a.InNM(pa) {
+			t.Fatalf("FM-first allocated NM frame for page %d (pa %x)", i, pa)
+		}
+	}
+	// FM is now full.
+	if _, err := a.Translate(uint64(5000) * memunits.BlockSize); err == nil {
+		t.Fatal("expected out-of-memory")
+	}
+}
+
+func TestInterleavedMixesEarly(t *testing.T) {
+	a := NewAddressSpace(nmBytes, fmBytes, PolicyInterleaved, 1)
+	nm := 0
+	n := 100
+	for i := 0; i < n; i++ {
+		if a.InNM(a.MustTranslate(uint64(i) * memunits.BlockSize)) {
+			nm++
+		}
+	}
+	// NM is 1/5 of frames; early allocations should include some NM frames
+	// (roughly 20, certainly more than 5 and fewer than 60).
+	if nm < 5 || nm > 60 {
+		t.Fatalf("interleaved NM share in first %d allocations = %d", n, nm)
+	}
+}
+
+func TestRandomPolicyDeterministicPerSeed(t *testing.T) {
+	get := func(seed int64) []uint64 {
+		a := NewAddressSpace(nmBytes, fmBytes, PolicyRandom, seed)
+		out := make([]uint64, 50)
+		for i := range out {
+			out[i] = a.MustTranslate(uint64(i) * memunits.BlockSize)
+		}
+		return out
+	}
+	a1, a2, b := get(7), get(7), get(8)
+	same, diff := true, false
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			same = false
+		}
+		if a1[i] != b[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different layouts")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical layouts (suspicious)")
+	}
+}
+
+// Property: interleaved hand-out order is a permutation of all frames.
+func TestInterleavedPermutation(t *testing.T) {
+	f := func(nmKB, fmKB uint8) bool {
+		nmB := (uint64(nmKB%8) + 1) * 16 * memunits.BlockSize
+		fmB := (uint64(fmKB%8) + 1) * 64 * memunits.BlockSize
+		a := NewAddressSpace(nmB, fmB, PolicyInterleaved, 1)
+		seen := make([]bool, a.TotalFrames())
+		for _, f := range a.freeOrder {
+			if f >= a.TotalFrames() || seen[f] {
+				return false
+			}
+			seen[f] = true
+		}
+		return uint64(len(a.freeOrder)) == a.TotalFrames()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoreVAIsolation(t *testing.T) {
+	// Identical per-core VAs must translate to distinct physical pages when
+	// wrapped with CoreVA.
+	a := NewAddressSpace(nmBytes, fmBytes, PolicyInterleaved, 1)
+	va := uint64(0x1000)
+	p0 := a.MustTranslate(CoreVA(0, va))
+	p1 := a.MustTranslate(CoreVA(1, va))
+	if p0>>11 == p1>>11 {
+		t.Fatal("cores share a physical page")
+	}
+	if CoreVA(3, va) == CoreVA(2, va) {
+		t.Fatal("CoreVA collision")
+	}
+}
+
+func TestFramesFree(t *testing.T) {
+	a := NewAddressSpace(nmBytes, fmBytes, PolicyInterleaved, 1)
+	total := a.TotalFrames()
+	if a.FramesFree() != total {
+		t.Fatalf("fresh FramesFree = %d, want %d", a.FramesFree(), total)
+	}
+	a.MustTranslate(0)
+	if a.FramesFree() != total-1 {
+		t.Fatal("FramesFree did not decrement")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyInterleaved.String() != "interleaved" || PolicyRandom.String() != "random" || PolicyFMFirst.String() != "fm-first" {
+		t.Fatal("policy names")
+	}
+}

@@ -1,0 +1,248 @@
+// Package workload generates the memory reference streams that stand in for
+// the paper's SPEC CPU2006 SimPoint slices (§IV-B). Each benchmark is a
+// parameterized synthetic generator reproducing the properties the paper's
+// evaluation discriminates on:
+//
+//   - MPKI class (Table III: low < 11, medium 11-32, high > 32), via the
+//     instruction gap between references and the temporal-reuse fraction
+//     that the SRAM caches absorb;
+//   - footprint (unique 2 KB pages), scaled with the machine;
+//   - page-level spatial locality (distinct subblocks touched per page
+//     visit) — what separates PoM, CAMEO and SILC-FM's bit vectors;
+//   - hot-set size, skew and churn — what separates locking, associativity
+//     and epoch-based migration.
+//
+// Generators are deterministic per seed.
+package workload
+
+import (
+	"math/rand"
+
+	"silcfm/internal/memunits"
+)
+
+// Ref is one memory reference.
+type Ref struct {
+	PC    uint64
+	VAddr uint64
+	Write bool
+	// Gap is the number of instructions executed up to and including this
+	// reference since the previous one (>= 1).
+	Gap uint32
+}
+
+// Generator produces an infinite reference stream.
+type Generator interface {
+	Name() string
+	Next(r *Ref)
+	// FootprintBytes is the approximate virtual footprint.
+	FootprintBytes() uint64
+}
+
+// MPKIClass is Table III's grouping.
+type MPKIClass int
+
+const (
+	LowMPKI MPKIClass = iota
+	MediumMPKI
+	HighMPKI
+)
+
+func (c MPKIClass) String() string {
+	switch c {
+	case LowMPKI:
+		return "low"
+	case MediumMPKI:
+		return "medium"
+	default:
+		return "high"
+	}
+}
+
+// InstrScale is the per-class run-length multiplier. The paper simulates
+// 1 B instructions per core for every benchmark; at our scaled memory
+// sizes, low-MPKI benchmarks need proportionally more instructions than
+// high-MPKI ones to reach the same steady-state memory behaviour (misses
+// per hot page), so rate-mode targets are scaled by class.
+func (c MPKIClass) InstrScale() uint64 {
+	switch c {
+	case LowMPKI:
+		return 8
+	case MediumMPKI:
+		return 4
+	default:
+		return 2
+	}
+}
+
+// Params configures a synthetic benchmark generator.
+type Params struct {
+	Name  string
+	Class MPKIClass
+
+	FootprintPages int // total virtual 2KB pages per core
+
+	// Hot-set structure.
+	HotPages      int     // size of the (lukewarm) hot region, in pages
+	HotProb       float64 // P(access targets the hot region)
+	SuperHotPages int     // very hot subset (drives locking)
+	SuperHotProb  float64 // P(access targets the super-hot subset)
+	ZipfS         float64 // skew of super-hot popularity (>1; higher = more skewed)
+
+	// Spatial locality within a page visit.
+	VisitSubblocksMin int // distinct subblocks touched per visit, min
+	VisitSubblocksMax int // and max (uniform); 32 = whole 2KB block
+
+	// Temporal locality absorbed by SRAM caches.
+	ReuseProb   float64 // P(re-access one of the recent addresses)
+	ReuseWindow int     // how many recent addresses are eligible
+
+	// Rate & mix.
+	GapMean   int // mean instructions per memory reference
+	WriteFrac float64
+
+	// Phase behaviour: after PhaseRefs references the hot region slides by
+	// PhaseShift pages (0 = stationary). Models gemsFDTD's short-lived hot
+	// pages.
+	PhaseRefs  uint64
+	PhaseShift int
+}
+
+// Synthetic is the parameterized generator.
+type Synthetic struct {
+	p    Params
+	rng  *rand.Rand
+	zipf *rand.Zipf
+
+	hotBase  int // rotating origin of the hot region
+	refCount uint64
+
+	// current page visit
+	visitPage uint64
+	visitSub  uint
+	visitLeft int
+
+	recent    []uint64
+	recentPos int
+}
+
+// NewSynthetic builds a generator with the given parameters and seed.
+func NewSynthetic(p Params, seed int64) *Synthetic {
+	if p.ReuseWindow <= 0 {
+		p.ReuseWindow = 64
+	}
+	if p.VisitSubblocksMin <= 0 {
+		p.VisitSubblocksMin = 1
+	}
+	if p.VisitSubblocksMax < p.VisitSubblocksMin {
+		p.VisitSubblocksMax = p.VisitSubblocksMin
+	}
+	if p.GapMean <= 0 {
+		p.GapMean = 4
+	}
+	g := &Synthetic{
+		p:      p,
+		rng:    rand.New(rand.NewSource(seed)),
+		recent: make([]uint64, 0, p.ReuseWindow),
+	}
+	if p.SuperHotPages > 0 {
+		s := p.ZipfS
+		if s <= 1 {
+			s = 1.2
+		}
+		g.zipf = rand.NewZipf(g.rng, s, 1, uint64(p.SuperHotPages-1))
+	}
+	return g
+}
+
+// Name implements Generator.
+func (g *Synthetic) Name() string { return g.p.Name }
+
+// FootprintBytes implements Generator.
+func (g *Synthetic) FootprintBytes() uint64 {
+	return uint64(g.p.FootprintPages) * memunits.BlockSize
+}
+
+// Params returns the generator's configuration.
+func (g *Synthetic) Params() Params { return g.p }
+
+// Next implements Generator.
+func (g *Synthetic) Next(r *Ref) {
+	g.refCount++
+	if g.p.PhaseRefs > 0 && g.refCount%g.p.PhaseRefs == 0 {
+		g.hotBase = (g.hotBase + g.p.PhaseShift) % g.p.FootprintPages
+	}
+
+	// Instruction gap: 1 + geometric-ish noise around GapMean.
+	gap := 1 + g.rng.Intn(2*g.p.GapMean-1)
+	r.Gap = uint32(gap)
+	r.Write = g.rng.Float64() < g.p.WriteFrac
+
+	// Temporal reuse: hit the SRAM caches.
+	if len(g.recent) > 0 && g.rng.Float64() < g.p.ReuseProb {
+		r.VAddr = g.recent[g.rng.Intn(len(g.recent))]
+		r.PC = g.pcFor(r.VAddr)
+		return
+	}
+
+	// Page-visit model: touch a run of distinct subblocks in one page.
+	if g.visitLeft == 0 {
+		g.startVisit()
+	}
+	addr := memunits.SubblockAddr(g.visitPage, g.visitSub%memunits.SubblocksPerBlock)
+	g.visitSub++
+	g.visitLeft--
+
+	// Spread within the subblock.
+	addr |= uint64(g.rng.Intn(memunits.SubblockSize)) &^ 7
+	r.VAddr = addr
+	r.PC = g.pcFor(addr)
+	g.remember(addr)
+}
+
+func (g *Synthetic) startVisit() {
+	page := g.pickPage()
+	span := g.p.VisitSubblocksMax - g.p.VisitSubblocksMin + 1
+	n := g.p.VisitSubblocksMin + g.rng.Intn(span)
+	start := uint(0)
+	if n < memunits.SubblocksPerBlock {
+		start = uint(g.rng.Intn(memunits.SubblocksPerBlock))
+	}
+	g.visitPage = page
+	g.visitSub = start
+	g.visitLeft = n
+}
+
+// pickPage selects the page for a new visit: super-hot, hot, or cold.
+func (g *Synthetic) pickPage() uint64 {
+	fp := g.p.FootprintPages
+	roll := g.rng.Float64()
+	switch {
+	case g.zipf != nil && roll < g.p.SuperHotProb:
+		idx := int(g.zipf.Uint64())
+		return uint64((g.hotBase + idx) % fp)
+	case roll < g.p.SuperHotProb+g.p.HotProb && g.p.HotPages > 0:
+		idx := g.p.SuperHotPages + g.rng.Intn(g.p.HotPages)
+		return uint64((g.hotBase + idx) % fp)
+	default:
+		return uint64(g.rng.Intn(fp))
+	}
+}
+
+// pcFor derives a stable PC from the address region, so PC correlates with
+// access pattern as the paper's predictor and history table assume
+// (§III-A, §III-F).
+func (g *Synthetic) pcFor(addr uint64) uint64 {
+	page := memunits.BlockOf(addr)
+	h := page * 0x9e3779b97f4a7c15
+	return 0x400000 + (h>>51)<<3 // 8K distinct PCs, 8-byte aligned
+}
+
+func (g *Synthetic) remember(addr uint64) {
+	if len(g.recent) < cap(g.recent) {
+		g.recent = append(g.recent, addr)
+		return
+	}
+	g.recent[g.recentPos] = addr
+	g.recentPos = (g.recentPos + 1) % len(g.recent)
+}

@@ -1,0 +1,267 @@
+// Package silcfm is a simulation library reproducing "SILC-FM: Subblocked
+// InterLeaved Cache-Like Flat Memory Organization" (Ryoo, Meswani,
+// Prodromou, John — HPCA 2017).
+//
+// It models a heterogeneous flat memory — die-stacked HBM near memory plus
+// off-chip DDR3 far memory — managed by one of seven organization schemes
+// (the paper's SILC-FM plus its six comparison points), driven by a
+// multicore processor model over synthetic SPEC CPU2006-like workloads, on
+// top of an event-driven DRAM timing model.
+//
+// Quick start:
+//
+//	base, _ := silcfm.Run(silcfm.Options{Scheme: silcfm.Baseline, Workload: "mcf"})
+//	silc, _ := silcfm.Run(silcfm.Options{Scheme: silcfm.SILCFM, Workload: "mcf"})
+//	fmt.Printf("speedup %.2f at access rate %.2f\n", silc.SpeedupOver(base), silc.AccessRate)
+//
+// The Figure*/Table* functions regenerate every experiment of the paper's
+// evaluation section; see EXPERIMENTS.md for measured-vs-paper results.
+package silcfm
+
+import (
+	"fmt"
+
+	"silcfm/internal/config"
+	"silcfm/internal/harness"
+	"silcfm/internal/workload"
+)
+
+// Scheme names a memory-organization scheme.
+type Scheme string
+
+// The implemented schemes, as plotted in the paper's Figure 7.
+const (
+	// Baseline is the no-die-stacked-DRAM system every figure normalizes
+	// against: far memory only.
+	Baseline Scheme = "base"
+	// Random places pages randomly across NM+FM and never migrates.
+	Random Scheme = "rand"
+	// HMA is the epoch-based OS-managed migration scheme (§II-C).
+	HMA Scheme = "hma"
+	// CAMEO swaps 64-byte blocks within direct-mapped congruence groups.
+	CAMEO Scheme = "cam"
+	// CAMEOPrefetch is CAMEO plus a next-3-line prefetcher (§IV-A).
+	CAMEOPrefetch Scheme = "camp"
+	// PoM migrates 2 KB blocks after an access-count threshold.
+	PoM Scheme = "pom"
+	// SILCFM is the paper's contribution.
+	SILCFM Scheme = "silc"
+)
+
+// Schemes returns every scheme, baseline first.
+func Schemes() []Scheme {
+	return []Scheme{Baseline, Random, HMA, CAMEO, CAMEOPrefetch, PoM, SILCFM}
+}
+
+// Workloads returns the Table III benchmark names.
+func Workloads() []string { return append([]string(nil), workload.Names...) }
+
+// Features toggles SILC-FM's mechanisms, enabling Figure 6-style
+// breakdowns. The zero value disables everything except base subblock
+// swapping with a direct-mapped organization.
+type Features struct {
+	Locking   bool // lock hot blocks in NM (§III-C)
+	Ways      int  // NM set associativity: 1, 2 or 4 (§III-C)
+	Bypass    bool // bandwidth-balancing bypass at 0.8 access rate (§III-E)
+	Predictor bool // way/location predictor (§III-F)
+	History   bool // bit vector history replay (§III-A)
+}
+
+// FullFeatures returns the paper's chosen design point.
+func FullFeatures() Features {
+	return Features{Locking: true, Ways: 4, Bypass: true, Predictor: true, History: true}
+}
+
+// Tuning overrides SILC-FM's numeric parameters for ablation studies
+// (§III-B/C/E/F). Zero-valued fields keep the defaults.
+type Tuning struct {
+	HotThreshold     uint32  // lock threshold (paper: 50; scaled default 16)
+	AgingInterval    uint64  // accesses between counter right-shifts
+	BypassTarget     float64 // access-rate ceiling (paper: 0.8)
+	HistoryEntries   int     // bit vector history table size
+	PredictorEntries int     // way/location predictor size (paper: 4K)
+}
+
+// Options configures one simulation.
+type Options struct {
+	Scheme   Scheme
+	Workload string // a Workloads() name; default "mcf"
+
+	// InstrPerCore is the rate-mode retirement target per core
+	// (default 1M). With ScaleInstrByClass, low-MPKI workloads run
+	// proportionally longer so all benchmarks reach steady state.
+	InstrPerCore      uint64
+	ScaleInstrByClass bool
+
+	// Cores defaults to 16 (Table II). NMCapacity/FMCapacity default to
+	// 128 MB / 512 MB; both must be multiples of 2 KB and FM a multiple
+	// of NM.
+	Cores      int
+	NMCapacity uint64
+	FMCapacity uint64
+
+	// SILC overrides SILC-FM's feature set (nil = FullFeatures).
+	SILC *Features
+
+	// Tuning overrides SILC-FM's numeric parameters (nil = paper design
+	// point, scaled); zero-valued fields keep their defaults.
+	Tuning *Tuning
+
+	// FootprintScaleDen divides every workload's footprint and hot-set
+	// sizes, for running on proportionally smaller NM/FM capacities
+	// (0 or 1 = unscaled).
+	FootprintScaleDen int
+
+	// TracePath replays a trace captured by cmd/silcfm-trace instead of
+	// the synthetic generator; Workload then only labels the run.
+	TracePath string
+
+	// Mix runs a heterogeneous multiprogrammed mix: core i runs benchmark
+	// Mix[i mod len(Mix)]. Overrides Workload. (The paper evaluates
+	// homogeneous rate mode; mixes are an extension.)
+	Mix []string
+
+	Seed int64
+}
+
+// Report is the outcome of one simulation.
+type Report struct {
+	Workload string
+	Scheme   string
+
+	Cycles       uint64 // rate-mode execution time in CPU cycles
+	Instructions uint64 // total retired over all cores
+
+	AvgMPKI           float64 // per-core LLC misses per kilo-instruction
+	AccessRate        float64 // paper Eq. 1: fraction of misses serviced by NM
+	NMDemandFraction  float64 // Figure 8 metric
+	MigrationOverhead float64 // migration+metadata bytes per demand byte
+
+	EnergyNJ float64
+	EDP      float64 // energy-delay product (nJ x cycles)
+
+	FootprintBytes uint64 // unique pages touched x 2 KB
+
+	Locks, Unlocks    uint64
+	Migrations        uint64
+	SwapsIn, SwapsOut uint64
+	BypassedAccesses  uint64
+	PredictorAccuracy float64
+}
+
+// SpeedupOver returns base.Cycles / r.Cycles, the paper's figure of merit.
+func (r *Report) SpeedupOver(base *Report) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// machine converts Options into the internal machine description.
+func (o Options) machine() (config.Machine, error) {
+	m := config.Default()
+	if o.Cores > 0 {
+		m.Cores = o.Cores
+	}
+	if o.NMCapacity > 0 {
+		m.NM = config.HBM(o.NMCapacity)
+	}
+	if o.FMCapacity > 0 {
+		m.FM = config.DDR3(o.FMCapacity)
+	}
+	if o.Seed != 0 {
+		m.Seed = o.Seed
+	}
+	switch o.Scheme {
+	case "", SILCFM:
+		m.Scheme = config.SchemeSILCFM
+	case Baseline, Random, HMA, CAMEO, CAMEOPrefetch, PoM:
+		m.Scheme = config.SchemeName(o.Scheme)
+	default:
+		return m, fmt.Errorf("silcfm: unknown scheme %q", o.Scheme)
+	}
+	if o.SILC != nil {
+		m.SILC.Features = config.SILCFeatures{
+			Locking:       o.SILC.Locking,
+			Ways:          o.SILC.Ways,
+			Bypass:        o.SILC.Bypass,
+			Predictor:     o.SILC.Predictor,
+			BitVecHistory: o.SILC.History,
+		}
+		if m.SILC.Features.Ways == 0 {
+			m.SILC.Features.Ways = 1
+		}
+	}
+	if o.Tuning != nil {
+		if o.Tuning.HotThreshold > 0 {
+			m.SILC.HotThreshold = o.Tuning.HotThreshold
+		}
+		if o.Tuning.AgingInterval > 0 {
+			m.SILC.AgingInterval = o.Tuning.AgingInterval
+		}
+		if o.Tuning.BypassTarget > 0 {
+			m.SILC.BypassTarget = o.Tuning.BypassTarget
+		}
+		if o.Tuning.HistoryEntries > 0 {
+			m.SILC.HistoryEntries = o.Tuning.HistoryEntries
+		}
+		if o.Tuning.PredictorEntries > 0 {
+			m.SILC.PredictorEntries = o.Tuning.PredictorEntries
+		}
+	}
+	return m, m.Validate()
+}
+
+// Run executes one simulation to completion and reduces its statistics.
+func Run(o Options) (*Report, error) {
+	m, err := o.machine()
+	if err != nil {
+		return nil, err
+	}
+	wl := o.Workload
+	if wl == "" && o.TracePath == "" && len(o.Mix) == 0 {
+		wl = "mcf"
+	}
+	spec := harness.Spec{
+		Machine:           m,
+		Workload:          wl,
+		InstrPerCore:      o.InstrPerCore,
+		ScaleInstrByClass: o.ScaleInstrByClass,
+		TracePath:         o.TracePath,
+		Mix:               o.Mix,
+	}
+	if o.FootprintScaleDen > 1 {
+		spec.FootScaleNum, spec.FootScaleDen = 1, o.FootprintScaleDen
+	}
+	res, err := harness.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	if res.AuditErr != nil {
+		return nil, fmt.Errorf("silcfm: data-integrity audit failed: %w", res.AuditErr)
+	}
+	return reportOf(res), nil
+}
+
+func reportOf(res *harness.Result) *Report {
+	return &Report{
+		Workload:          res.Workload,
+		Scheme:            res.Scheme,
+		Cycles:            res.Cycles,
+		Instructions:      res.TotalInstructions(),
+		AvgMPKI:           res.AvgMPKI(),
+		AccessRate:        res.Mem.AccessRate(),
+		NMDemandFraction:  res.Mem.DemandNMFraction(),
+		MigrationOverhead: res.Mem.MigrationOverheadRatio(),
+		EnergyNJ:          res.EnergyNJ,
+		EDP:               res.EDP(),
+		FootprintBytes:    res.FootprintPages * 2048,
+		Locks:             res.Mem.Locks,
+		Unlocks:           res.Mem.Unlocks,
+		Migrations:        res.Mem.Migrations,
+		SwapsIn:           res.Mem.SwapsIn,
+		SwapsOut:          res.Mem.SwapsOut,
+		BypassedAccesses:  res.Mem.BypassedAccesses,
+		PredictorAccuracy: res.Mem.PredictorAccuracy(),
+	}
+}
