@@ -1,0 +1,15 @@
+#!/bin/sh
+# Local CI gate: formatting, vet, build, and the test suite under the race
+# detector. Run from the repo root.
+set -eu
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "gofmt: files need formatting:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...

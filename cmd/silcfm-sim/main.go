@@ -33,6 +33,7 @@ func main() {
 		trace    = flag.String("trace", "", "replay a trace file instead of the synthetic workload")
 		mix      = flag.String("mix", "", "comma-separated heterogeneous mix (core i runs mix[i mod n])")
 		foot     = flag.Int("footscale", 0, "divide workload footprints by N (for small -nm/-fm machines)")
+		shadowOn = flag.Bool("shadow", false, "run the continuous shadow-data integrity checker (slower)")
 	)
 	flag.Parse()
 
@@ -61,6 +62,7 @@ func main() {
 		NMCapacity:        *nm << 20,
 		FMCapacity:        *fm << 20,
 		FootprintScaleDen: *foot,
+		ShadowCheck:       *shadowOn,
 		Seed:              *seed,
 	}
 	if *noLock || *noBypass || *ways != 4 {
@@ -77,6 +79,9 @@ func main() {
 		os.Exit(1)
 	}
 	printReport(r)
+	if *shadowOn {
+		fmt.Println("shadow check:       passed")
+	}
 
 	if *compare {
 		b := opts

@@ -64,14 +64,18 @@ func New(sys *mem.System, cfg config.SILCConfig) *Controller {
 	if ways == 0 {
 		ways = 1
 	}
-	metaCfg := config.HBM(nmBlocks * 64)
+	fs := newFrameSet(nmBlocks, ways)
+	// One 64-byte line of remap entries per SET (all ways share the line),
+	// not per frame: sizing by frame count would over-provision the channel
+	// by the associativity factor and skew energy/row-buffer accounting.
+	metaCfg := config.HBM(fs.sets * 64)
 	metaCfg.Name = "HBM-meta"
 	metaCfg.Channels = 1
 	c := &Controller{
 		sys:           sys,
 		cfg:           cfg,
 		nmBlocks:      nmBlocks,
-		fs:            newFrameSet(nmBlocks, ways),
+		fs:            fs,
 		hist:          newHistoryTable(cfg.HistoryEntries),
 		pred:          newPredictor(cfg.PredictorEntries),
 		gov:           newBypassGovernor(cfg.Features.Bypass, cfg.BypassTarget),
@@ -222,6 +226,9 @@ func (c *Controller) handleNMAddress(a *mem.Access, b uint64, idx uint) {
 	if fr.locked || c.gov.bypassing() {
 		// Locked frames keep the interleaved block pinned; under bypass no
 		// state changes either. Service from FM.
+		if !fr.locked {
+			st.BypassedAccesses++
+		}
 		c.serviceFM(a, c.fmHome(fr.remap, idx))
 		c.maybeLockHome(b)
 		return
@@ -343,6 +350,12 @@ func (c *Controller) maybeLockRemap(f uint64) {
 	if fr.locked || fr.remap == noRemap || fr.fmCtr < c.cfg.HotThreshold || fr.fmCtr < fr.nmCtr {
 		return
 	}
+	// §III-E: bandwidth balancing suppresses new swaps, and completing a
+	// lock pulls in every missing subblock — defer until bypassing clears
+	// (the counters stay hot, so the next access retries).
+	if c.gov.bypassing() {
+		return
+	}
 	for i := uint(0); i < memunits.SubblocksPerBlock; i++ {
 		if !fr.bits.Test(i) {
 			fr.bits.Set(i)
@@ -368,6 +381,11 @@ func (c *Controller) maybeLockHome(b uint64) {
 		return
 	}
 	if fr.remap != noRemap {
+		// Restoring the interleaved block is swap traffic; defer the lock
+		// while the governor is balancing bandwidth (§III-E).
+		if c.gov.bypassing() {
+			return
+		}
 		c.restore(b)
 		c.Restores++
 	}
@@ -409,47 +427,21 @@ func (c *Controller) ageAndUnlock() {
 // serviceNM completes a demand access from near memory.
 func (c *Controller) serviceNM(a *mem.Access, loc mem.Location) {
 	c.gov.record(true)
-	c.sys.ServiceDemand(loc, a.Write, a.Done)
+	c.sys.ServiceDemand(a.PAddr, loc, a.Write, a.Done)
 }
 
 // serviceFM completes a demand access from far memory.
 func (c *Controller) serviceFM(a *mem.Access, loc mem.Location) {
 	c.gov.record(false)
-	c.sys.ServiceDemand(loc, a.Write, a.Done)
+	c.sys.ServiceDemand(a.PAddr, loc, a.Write, a.Done)
 }
 
 // moveBetween services the demand at src and installs the data at dst,
 // sending dst's previous contents back to src — the interleaved swap of
-// Figure 2, with the demand read doubling as the migration read.
+// Figure 2, with the demand transfer doubling as a migration transfer.
 func (c *Controller) moveBetween(a *mem.Access, src, dst mem.Location) {
 	c.gov.record(src.Level == stats.NM)
-	if src.Level == stats.NM {
-		c.sys.Stats.ServicedNM++
-	} else {
-		c.sys.Stats.ServicedFM++
-	}
-	if a.Write {
-		// The new data lands directly at dst; dst's old contents move to
-		// src. No read of the overwritten subblock is needed.
-		c.sys.Write(dst, memunits.SubblockSize, stats.Demand, nil)
-		c.sys.Read(dst, memunits.SubblockSize, stats.Migration, func() {
-			c.sys.Write(src, memunits.SubblockSize, stats.Migration, nil)
-		})
-		if a.Done != nil {
-			a.Done()
-		}
-		return
-	}
-	done := a.Done
-	c.sys.Read(src, memunits.SubblockSize, stats.Demand, func() {
-		if done != nil {
-			done()
-		}
-		c.sys.Write(dst, memunits.SubblockSize, stats.Migration, nil)
-	})
-	c.sys.Read(dst, memunits.SubblockSize, stats.Migration, func() {
-		c.sys.Write(src, memunits.SubblockSize, stats.Migration, nil)
-	})
+	c.sys.SwapDemand(a.PAddr, src, dst, a.Write, a.Done)
 }
 
 // writeMetaUpdate charges the metadata write-back for a state change.

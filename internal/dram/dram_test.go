@@ -433,7 +433,7 @@ func TestPhysicalBounds(t *testing.T) {
 		n := 400
 		for i := 0; i < n; i++ {
 			submitAt := eng.Now()
-			d.Submit(Request{Addr: uint64(rng.Intn(1 << 24)) &^ 63, Done: func() {
+			d.Submit(Request{Addr: uint64(rng.Intn(1<<24)) &^ 63, Done: func() {
 				if eng.Now()-submitAt < floor {
 					okFloor = false
 				}
@@ -467,7 +467,7 @@ func TestNoLostWakeups(t *testing.T) {
 	for i := 0; i < len(fired); i++ {
 		i := i
 		d.Submit(Request{
-			Addr:       uint64(rng.Intn(1 << 22)) &^ 63,
+			Addr:       uint64(rng.Intn(1<<22)) &^ 63,
 			Write:      rng.Intn(5) == 0,
 			Background: rng.Intn(7) == 0,
 			Done:       func() { fired[i]++ },

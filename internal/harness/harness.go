@@ -18,6 +18,7 @@ import (
 	"silcfm/internal/schemes/flat"
 	"silcfm/internal/schemes/hma"
 	"silcfm/internal/schemes/pom"
+	"silcfm/internal/shadow"
 	"silcfm/internal/sim"
 	"silcfm/internal/stats"
 	"silcfm/internal/vm"
@@ -44,6 +45,11 @@ type Spec struct {
 	// runs benchmark Mix[i mod len(Mix)]. Workload is ignored. (The paper
 	// evaluates homogeneous rate mode; mixes are an extension.)
 	Mix []string
+	// ShadowCheck runs the continuous shadow-data integrity checker
+	// (internal/shadow) alongside the simulation: every demand access and
+	// swap is verified against a token-level reference model. Costs
+	// simulation speed; enable in tests, leave off in benchmarks.
+	ShadowCheck bool
 }
 
 // Result is one completed simulation.
@@ -52,6 +58,9 @@ type Result struct {
 	Energy energy.Breakdown
 	// AuditErr is non-nil when the end-of-run data-integrity audit failed.
 	AuditErr error
+	// ShadowErr is non-nil when the continuous shadow checker observed an
+	// integrity violation (only set when Spec.ShadowCheck is enabled).
+	ShadowErr error
 }
 
 // placementFor returns the first-touch allocation policy each scheme
@@ -175,10 +184,16 @@ func Run(spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	rawCtl := ctl
 
 	nmBytes := m.NM.Capacity
 	if m.Scheme == config.SchemeBaseline {
 		nmBytes = 0
+	}
+	var chk *shadow.Checker
+	if spec.ShadowCheck {
+		chk = shadow.New(ctl, sys, nmBytes, m.FM.Capacity)
+		ctl = chk
 	}
 	space := vm.NewAddressSpace(nmBytes, m.FM.Capacity, placementFor(m.Scheme), m.Seed)
 	xlate := func(c int, va uint64) uint64 {
@@ -204,7 +219,7 @@ func Run(spec Spec) (*Result, error) {
 	}
 	res.FootprintPages = space.PagesTouched()
 	// SILC-FM's dedicated metadata channel contributes dynamic energy too.
-	if sc, ok := ctl.(*core.Controller); ok {
+	if sc, ok := rawCtl.(*core.Controller); ok {
 		sys.Stats.ExtraEnergyPJ += sc.MetaDeviceStats().DynamicEnergyPJ
 	}
 	res.Energy = energy.Compute(m.NM, m.FM, sys.NM.Stats(), sys.FM.Stats(), sys.Stats, res.Cycles)
@@ -216,6 +231,9 @@ func Run(spec Spec) (*Result, error) {
 		res.AuditErr = mem.AuditSample(ctl, 0, m.FM.Capacity, 97)
 	} else {
 		res.AuditErr = mem.AuditSample(ctl, sys.NMCap, sys.FMCap, 97)
+	}
+	if chk != nil {
+		res.ShadowErr = chk.Check()
 	}
 	return res, nil
 }

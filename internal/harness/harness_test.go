@@ -2,6 +2,7 @@ package harness
 
 import (
 	"os"
+	"reflect"
 	"testing"
 
 	"silcfm/internal/config"
@@ -10,7 +11,7 @@ import (
 )
 
 // tinySpec runs fast on one CPU: 4 cores, NM 4MB / FM 16MB, footprints
-// scaled 1/16.
+// scaled 1/16. The shadow checker rides along in every test run.
 func tinySpec(scheme config.SchemeName, wl string) Spec {
 	m := config.Small()
 	m.Scheme = scheme
@@ -20,6 +21,7 @@ func tinySpec(scheme config.SchemeName, wl string) Spec {
 		InstrPerCore: 150_000,
 		FootScaleNum: 1,
 		FootScaleDen: 16,
+		ShadowCheck:  true,
 	}
 }
 
@@ -32,6 +34,9 @@ func TestRunEverySchemeCompletes(t *testing.T) {
 		}
 		if r.AuditErr != nil {
 			t.Fatalf("%s: audit: %v", s, r.AuditErr)
+		}
+		if r.ShadowErr != nil {
+			t.Fatalf("%s: shadow: %v", s, r.ShadowErr)
 		}
 		if r.Cycles == 0 || r.TotalInstructions() < 4*150_000 {
 			t.Fatalf("%s: cycles=%d instr=%d", s, r.Cycles, r.TotalInstructions())
@@ -63,6 +68,9 @@ func TestRunRejectsBadInput(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
+	// Byte-identical statistics, not just matching headline counters: any
+	// hidden map-iteration or timing nondeterminism shows up somewhere in
+	// stats.Run.
 	a, err := Run(tinySpec(config.SchemeSILCFM, "gems"))
 	if err != nil {
 		t.Fatal(err)
@@ -71,8 +79,35 @@ func TestRunDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Cycles != b.Cycles || a.Mem.SwapsIn != b.Mem.SwapsIn {
-		t.Fatalf("nondeterministic: %d/%d vs %d/%d", a.Cycles, a.Mem.SwapsIn, b.Cycles, b.Mem.SwapsIn)
+	if !reflect.DeepEqual(a.Run, b.Run) {
+		t.Fatalf("nondeterministic stats.Run:\n%+v\nvs\n%+v", a.Run, b.Run)
+	}
+	if !reflect.DeepEqual(a.Energy, b.Energy) {
+		t.Fatalf("nondeterministic energy: %+v vs %+v", a.Energy, b.Energy)
+	}
+}
+
+// TestShadowAndAuditAcrossSchemesRandomized runs every scheme over a
+// rotation of workloads and seeds with the shadow checker and mapping audit
+// active — the harness-level counterpart of the shadow package's direct
+// stress driver.
+func TestShadowAndAuditAcrossSchemesRandomized(t *testing.T) {
+	wls := []string{"mcf", "omnet", "gems"}
+	schemes := append([]config.SchemeName{config.SchemeBaseline}, config.AllSchemes...)
+	for i, s := range schemes {
+		spec := tinySpec(s, wls[i%len(wls)])
+		spec.InstrPerCore = 80_000
+		spec.Machine.Seed = int64(100 + i)
+		r, err := Run(spec)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", s, spec.Workload, err)
+		}
+		if r.AuditErr != nil {
+			t.Fatalf("%s/%s: audit: %v", s, spec.Workload, r.AuditErr)
+		}
+		if r.ShadowErr != nil {
+			t.Fatalf("%s/%s: shadow: %v", s, spec.Workload, r.ShadowErr)
+		}
 	}
 }
 

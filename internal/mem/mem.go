@@ -43,6 +43,28 @@ type Controller interface {
 	Locate(pa uint64) Location
 }
 
+// Observer receives the semantic data-movement events of a System. Events
+// are emitted eagerly at submission time, in dataflow order: a location's
+// contents are always captured (read out) before anything overwrites them,
+// and every capture is delivered exactly once. The shadow checker
+// (internal/shadow) implements this to track where every flat subblock's
+// data lives and to catch ordering/data-loss bugs that the end-of-run
+// mapping audit cannot see.
+type Observer interface {
+	// Demand: flat address pa's data is accessed at loc. Reads return the
+	// data stored there; writes deposit pa's new data there.
+	Demand(pa uint64, loc Location, write bool)
+	// Capture: the contents of loc are read out and held by the controller
+	// for a later Deliver.
+	Capture(loc Location)
+	// Deliver: the oldest undelivered Capture of src lands at dst.
+	Deliver(src, dst Location)
+	// Relocate: dst takes over src's contents via a one-way copy; dst's
+	// previous contents are dropped (legal only if they were never demand
+	// data — e.g. HMA migrating a block into a never-used NM frame).
+	Relocate(src, dst Location)
+}
+
 // System bundles the devices, clock and counters a controller needs.
 type System struct {
 	Eng   *sim.Engine
@@ -51,6 +73,17 @@ type System struct {
 	NMCap uint64
 	FMCap uint64
 	Stats *stats.Memory
+
+	// Obs, when non-nil, receives semantic data-movement events from the
+	// compound operations below (and Note* calls from schemes with custom
+	// movement paths).
+	Obs Observer
+
+	// FaultInjectSwapOrder reintroduces the pre-fix SwapDemand write-path
+	// ordering bug (demand write submitted before dst's old contents are
+	// read out, destroying them). Test-only: proves the shadow checker
+	// detects the hazard.
+	FaultInjectSwapOrder bool
 }
 
 // NewSystem builds devices for machine m on engine eng. For the no-NM
@@ -89,6 +122,36 @@ func (s *System) Device(level stats.MemLevel) *dram.Device {
 	return s.FM
 }
 
+// NoteDemand reports a demand access to the observer, if any. Schemes with
+// custom movement paths call this (and the other Note helpers) to describe
+// their data flow; the compound System operations call them internally.
+func (s *System) NoteDemand(pa uint64, loc Location, write bool) {
+	if s.Obs != nil {
+		s.Obs.Demand(pa, loc, write)
+	}
+}
+
+// NoteCapture reports that loc's contents were read out for a later move.
+func (s *System) NoteCapture(loc Location) {
+	if s.Obs != nil {
+		s.Obs.Capture(loc)
+	}
+}
+
+// NoteDeliver reports that the oldest captured copy of src landed at dst.
+func (s *System) NoteDeliver(src, dst Location) {
+	if s.Obs != nil {
+		s.Obs.Deliver(src, dst)
+	}
+}
+
+// NoteRelocate reports a one-way copy of src's contents over dst.
+func (s *System) NoteRelocate(src, dst Location) {
+	if s.Obs != nil {
+		s.Obs.Relocate(src, dst)
+	}
+}
+
 // Read submits a read of n bytes at loc, accounted under class, invoking
 // done at completion.
 func (s *System) Read(loc Location, n uint64, class stats.TrafficClass, done func()) {
@@ -118,16 +181,17 @@ func (s *System) Write(loc Location, n uint64, class stats.TrafficClass, done fu
 	s.Device(loc.Level).Submit(dram.Request{Addr: loc.DevAddr, Bytes: n, Write: true, Done: done})
 }
 
-// ServiceDemand accounts a demand access of one subblock satisfied at loc
-// and performs it: reads invoke done at data return; writes complete
+// ServiceDemand accounts a demand access of flat address pa satisfied at
+// loc and performs it: reads invoke done at data return; writes complete
 // immediately after submission (write-release semantics at the memory
 // controller) while still occupying bandwidth.
-func (s *System) ServiceDemand(loc Location, write bool, done func()) {
+func (s *System) ServiceDemand(pa uint64, loc Location, write bool, done func()) {
 	if loc.Level == stats.NM {
 		s.Stats.ServicedNM++
 	} else {
 		s.Stats.ServicedFM++
 	}
+	s.NoteDemand(pa, loc, write)
 	if write {
 		s.Write(loc, memunits.SubblockSize, stats.Demand, nil)
 		if done != nil {
@@ -143,12 +207,115 @@ func (s *System) ServiceDemand(loc Location, write bool, done func()) {
 // The demand side is NOT included; callers account it separately. fin (may
 // be nil) runs when both writes complete.
 func (s *System) ExchangeSubblocks(a, b Location, fin func()) {
+	s.NoteCapture(a)
+	s.NoteCapture(b)
+	s.NoteDeliver(a, b)
+	s.NoteDeliver(b, a)
 	join := dram.Join(2, fin)
 	s.Read(a, memunits.SubblockSize, stats.Migration, func() {
 		s.Write(b, memunits.SubblockSize, stats.Migration, join)
 	})
 	s.Read(b, memunits.SubblockSize, stats.Migration, func() {
 		s.Write(a, memunits.SubblockSize, stats.Migration, join)
+	})
+}
+
+// SwapDemand services a demand access to flat address pa whose subblock
+// currently resides at src while exchanging it with dst's contents — the
+// interleaved swap of SILC-FM Figure 2, with the demand transfer doubling
+// as one of the migration transfers.
+//
+// Reads: the demand read at src returns the data and feeds the migration
+// write to dst; dst's old contents move to src.
+//
+// Writes: the new data supersedes src's old contents entirely (a full
+// subblock LLC writeback), so only dst's old contents move. Ordering
+// matters here — dst must be read out BEFORE the demand write lands, or
+// the only copy of dst's data is destroyed. The buffered read is submitted
+// first; FaultInjectSwapOrder reintroduces the reversed (buggy) order for
+// checker-validation tests.
+func (s *System) SwapDemand(pa uint64, src, dst Location, write bool, done func()) {
+	if src.Level == stats.NM {
+		s.Stats.ServicedNM++
+	} else {
+		s.Stats.ServicedFM++
+	}
+	if write {
+		if s.FaultInjectSwapOrder {
+			s.NoteDemand(pa, dst, true)
+			s.NoteCapture(dst)
+			s.NoteDeliver(dst, src)
+			s.Write(dst, memunits.SubblockSize, stats.Demand, nil)
+			s.Read(dst, memunits.SubblockSize, stats.Migration, func() {
+				s.Write(src, memunits.SubblockSize, stats.Migration, nil)
+			})
+			if done != nil {
+				done()
+			}
+			return
+		}
+		s.NoteCapture(dst)
+		s.NoteDemand(pa, dst, true)
+		s.NoteDeliver(dst, src)
+		s.Read(dst, memunits.SubblockSize, stats.Migration, func() {
+			s.Write(src, memunits.SubblockSize, stats.Migration, nil)
+		})
+		s.Write(dst, memunits.SubblockSize, stats.Demand, nil)
+		if done != nil {
+			done()
+		}
+		return
+	}
+	s.NoteDemand(pa, src, false)
+	s.NoteCapture(src)
+	s.NoteCapture(dst)
+	s.NoteDeliver(src, dst)
+	s.NoteDeliver(dst, src)
+	s.Read(src, memunits.SubblockSize, stats.Demand, func() {
+		if done != nil {
+			done()
+		}
+		s.Write(dst, memunits.SubblockSize, stats.Migration, nil)
+	})
+	s.Read(dst, memunits.SubblockSize, stats.Migration, func() {
+		s.Write(src, memunits.SubblockSize, stats.Migration, nil)
+	})
+}
+
+// subblockAt returns the location of subblock i within the block at loc.
+func subblockAt(loc Location, i uint) Location {
+	return Location{Level: loc.Level, DevAddr: loc.DevAddr + uint64(i)*memunits.SubblockSize}
+}
+
+// ExchangeBlocksDMA swaps the full 2 KB blocks at a and b with
+// background-priority reads (bulk migration DMA must not delay demand
+// traffic). fin (may be nil) runs when both writes complete.
+func (s *System) ExchangeBlocksDMA(a, b Location, fin func()) {
+	for i := uint(0); i < memunits.SubblocksPerBlock; i++ {
+		s.NoteCapture(subblockAt(a, i))
+		s.NoteCapture(subblockAt(b, i))
+		s.NoteDeliver(subblockAt(a, i), subblockAt(b, i))
+		s.NoteDeliver(subblockAt(b, i), subblockAt(a, i))
+	}
+	join := dram.Join(2, fin)
+	s.ReadBackground(a, memunits.BlockSize, stats.Migration, func() {
+		s.Write(b, memunits.BlockSize, stats.Migration, join)
+	})
+	s.ReadBackground(b, memunits.BlockSize, stats.Migration, func() {
+		s.Write(a, memunits.BlockSize, stats.Migration, join)
+	})
+}
+
+// RelocateBlockDMA copies the 2 KB block at src over dst one-way with a
+// background-priority read. dst's previous contents are dropped, so this is
+// only legal when they were never live demand data (e.g. a free NM frame
+// whose resident flat block was never accessed). fin may be nil.
+func (s *System) RelocateBlockDMA(src, dst Location, fin func()) {
+	for i := uint(0); i < memunits.SubblocksPerBlock; i++ {
+		s.NoteRelocate(subblockAt(src, i), subblockAt(dst, i))
+	}
+	s.ReadBackground(src, memunits.BlockSize, stats.Migration, func() {
+		s.Write(dst, memunits.BlockSize, stats.Migration, fin)
 	})
 }
 

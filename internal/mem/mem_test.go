@@ -62,8 +62,8 @@ func TestReadMetaAccountsBothClasses(t *testing.T) {
 func TestServiceDemandCounts(t *testing.T) {
 	eng, s := newSys()
 	reads := 0
-	s.ServiceDemand(Location{Level: stats.NM, DevAddr: 0}, false, func() { reads++ })
-	s.ServiceDemand(Location{Level: stats.FM, DevAddr: 0}, true, func() { reads++ })
+	s.ServiceDemand(0, Location{Level: stats.NM, DevAddr: 0}, false, func() { reads++ })
+	s.ServiceDemand(128<<10, Location{Level: stats.FM, DevAddr: 0}, true, func() { reads++ })
 	eng.Run()
 	if reads != 2 {
 		t.Fatal("callbacks")
@@ -90,6 +90,135 @@ func TestExchangeSubblocksTraffic(t *testing.T) {
 	}
 	if s.NM.Stats().Reads != 1 || s.NM.Stats().Writes != 1 || s.FM.Stats().Reads != 1 || s.FM.Stats().Writes != 1 {
 		t.Fatal("device ops wrong")
+	}
+}
+
+// recObs records observer events as strings for order assertions.
+type recObs struct{ events []string }
+
+func (r *recObs) Demand(pa uint64, loc Location, write bool) {
+	op := "R"
+	if write {
+		op = "W"
+	}
+	r.events = append(r.events, op+" demand "+loc.Level.String())
+}
+func (r *recObs) Capture(loc Location) { r.events = append(r.events, "capture "+loc.Level.String()) }
+func (r *recObs) Deliver(src, dst Location) {
+	r.events = append(r.events, "deliver "+dst.Level.String())
+}
+func (r *recObs) Relocate(src, dst Location) {
+	r.events = append(r.events, "relocate "+dst.Level.String())
+}
+
+func eventsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSwapDemandReadTraffic(t *testing.T) {
+	eng, s := newSys()
+	done := false
+	s.SwapDemand(128<<10,
+		Location{Level: stats.FM, DevAddr: 0},
+		Location{Level: stats.NM, DevAddr: 0},
+		false, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("demand callback missing")
+	}
+	if s.Stats.ServicedFM != 1 {
+		t.Fatal("demand side not counted at src level")
+	}
+	// Demand read of src (64B FM demand), migration write to dst, plus the
+	// counterflow read of dst + write to src.
+	if s.Stats.Bytes[stats.FM][stats.Demand] != 64 {
+		t.Fatalf("demand bytes: %+v", s.Stats.Bytes)
+	}
+	if s.Stats.Bytes[stats.NM][stats.Migration] != 128 || s.Stats.Bytes[stats.FM][stats.Migration] != 64 {
+		t.Fatalf("migration bytes: %+v", s.Stats.Bytes)
+	}
+}
+
+// TestSwapDemandWriteOrdering pins the write-path ordering contract: the
+// destination's old contents must be captured before the demand write lands,
+// and the fault-injection hook must reproduce the reversed (buggy) order.
+func TestSwapDemandWriteOrdering(t *testing.T) {
+	eng, s := newSys()
+	obs := &recObs{}
+	s.Obs = obs
+	src := Location{Level: stats.FM, DevAddr: 0}
+	dst := Location{Level: stats.NM, DevAddr: 0}
+	s.SwapDemand(128<<10, src, dst, true, nil)
+	eng.Run()
+	want := []string{"capture NM", "W demand NM", "deliver FM"}
+	if !eventsEqual(obs.events, want) {
+		t.Fatalf("fixed order = %v, want %v", obs.events, want)
+	}
+	// NM: one migration read + one demand write; FM: one migration write.
+	if s.Stats.Bytes[stats.NM][stats.Demand] != 64 || s.Stats.Bytes[stats.NM][stats.Migration] != 64 ||
+		s.Stats.Bytes[stats.FM][stats.Migration] != 64 {
+		t.Fatalf("write-swap bytes: %+v", s.Stats.Bytes)
+	}
+
+	eng2, s2 := newSys()
+	obs2 := &recObs{}
+	s2.Obs = obs2
+	s2.FaultInjectSwapOrder = true
+	s2.SwapDemand(128<<10, src, dst, true, nil)
+	eng2.Run()
+	bad := []string{"W demand NM", "capture NM", "deliver FM"}
+	if !eventsEqual(obs2.events, bad) {
+		t.Fatalf("fault-injected order = %v, want %v", obs2.events, bad)
+	}
+}
+
+func TestExchangeSubblocksEvents(t *testing.T) {
+	eng, s := newSys()
+	obs := &recObs{}
+	s.Obs = obs
+	s.ExchangeSubblocks(
+		Location{Level: stats.NM, DevAddr: 0},
+		Location{Level: stats.FM, DevAddr: 0}, nil)
+	eng.Run()
+	want := []string{"capture NM", "capture FM", "deliver FM", "deliver NM"}
+	if !eventsEqual(obs.events, want) {
+		t.Fatalf("events = %v, want %v", obs.events, want)
+	}
+}
+
+func TestBlockDMATraffic(t *testing.T) {
+	eng, s := newSys()
+	obs := &recObs{}
+	s.Obs = obs
+	fin := 0
+	s.ExchangeBlocksDMA(
+		Location{Level: stats.NM, DevAddr: 0},
+		Location{Level: stats.FM, DevAddr: 0},
+		func() { fin++ })
+	s.RelocateBlockDMA(
+		Location{Level: stats.FM, DevAddr: 2048},
+		Location{Level: stats.NM, DevAddr: 2048},
+		func() { fin++ })
+	eng.Run()
+	if fin != 2 {
+		t.Fatalf("fin callbacks = %d, want 2", fin)
+	}
+	// Exchange: 2KB read+write on each level. Relocate: 2KB FM read + 2KB
+	// NM write.
+	if s.Stats.Bytes[stats.NM][stats.Migration] != 3*2048 || s.Stats.Bytes[stats.FM][stats.Migration] != 3*2048 {
+		t.Fatalf("DMA bytes: %+v", s.Stats.Bytes)
+	}
+	// 32 capture+capture+deliver+deliver for the exchange, 32 relocates.
+	if len(obs.events) != 32*4+32 {
+		t.Fatalf("event count = %d", len(obs.events))
 	}
 }
 

@@ -115,6 +115,7 @@ func (c *Controller) Handle(a *mem.Access) {
 	if loc == 0 {
 		// NM hit: one extended-burst access returns remap entry + data.
 		st.ServicedNM++
+		c.sys.NoteDemand(a.PAddr, nmSlot, a.Write)
 		if a.Write {
 			c.sys.Write(nmSlot, memunits.SubblockSize, stats.Demand, nil)
 			st.AddBytes(stats.NM, stats.Metadata, remapEntrySize)
@@ -135,6 +136,19 @@ func (c *Controller) Handle(a *mem.Access) {
 	fmLoc := c.locAddr(g, loc)
 	evictLoc := fmLoc // the victim moves to the requested line's old home
 	c.swapIntoNM(g, m)
+	// Dataflow: the victim is read out of the NM slot first (its extended
+	// burst proves the miss); reads pull the requested line through the NM
+	// slot while writes deposit the new data there directly; the victim
+	// lands at the requested line's old FM home either way.
+	c.sys.NoteCapture(nmSlot)
+	if a.Write {
+		c.sys.NoteDemand(a.PAddr, nmSlot, true)
+	} else {
+		c.sys.NoteDemand(a.PAddr, fmLoc, false)
+		c.sys.NoteCapture(fmLoc)
+		c.sys.NoteDeliver(fmLoc, nmSlot)
+	}
+	c.sys.NoteDeliver(nmSlot, evictLoc)
 	c.sys.ReadMeta(nmSlot, memunits.SubblockSize, remapEntrySize, stats.Migration, func() {
 		if a.Write {
 			// Write allocate: new data lands in NM, victim goes to FM.

@@ -30,7 +30,7 @@ func (b *Baseline) Name() string { return "base" }
 // Handle implements mem.Controller.
 func (b *Baseline) Handle(a *mem.Access) {
 	b.sys.Stats.LLCMisses++
-	b.sys.ServiceDemand(b.Locate(a.PAddr), a.Write, a.Done)
+	b.sys.ServiceDemand(a.PAddr, b.Locate(a.PAddr), a.Write, a.Done)
 }
 
 // Locate implements mem.Controller: identity into FM.
@@ -56,7 +56,7 @@ func (s *Static) Name() string { return "rand" }
 // Handle implements mem.Controller.
 func (s *Static) Handle(a *mem.Access) {
 	s.sys.Stats.LLCMisses++
-	s.sys.ServiceDemand(s.Locate(a.PAddr), a.Write, a.Done)
+	s.sys.ServiceDemand(a.PAddr, s.Locate(a.PAddr), a.Write, a.Done)
 }
 
 // Locate implements mem.Controller: the home mapping.

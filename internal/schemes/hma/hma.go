@@ -33,6 +33,10 @@ type Controller struct {
 	cur []uint32 // cur[flat block] = location block
 	inv []uint32 // inv[location block] = flat block
 	ctr []uint32 // per-flat-block access count within the epoch
+	// used[flat block]: the block has been demand-accessed at least once.
+	// A "free" NM frame whose resident was used holds live data, so the
+	// one-way migration copy may not reuse it.
+	used []bool
 
 	freeNM []uint32 // NM location blocks never yet filled
 
@@ -56,6 +60,7 @@ func New(sys *mem.System, cfg config.HMAConfig) *Controller {
 		cur:                make([]uint32, total),
 		inv:                make([]uint32, total),
 		ctr:                make([]uint32, total),
+		used:               make([]bool, total),
 		nextEpoch:          cfg.EpochCycles,
 		MaxMigratePerEpoch: 8192,
 	}
@@ -88,6 +93,7 @@ func (c *Controller) Handle(a *mem.Access) {
 	c.sys.Stats.LLCMisses++
 	b := memunits.BlockOf(a.PAddr)
 	c.ctr[b]++
+	c.used[b] = true
 
 	now := c.sys.Eng.Now()
 	if now >= c.nextEpoch {
@@ -97,11 +103,11 @@ func (c *Controller) Handle(a *mem.Access) {
 		// Bulk migration in progress: the request stalls behind it.
 		pa, write, done := a.PAddr, a.Write, a.Done
 		c.sys.Eng.At(c.blockedUntil, func() {
-			c.sys.ServiceDemand(c.Locate(pa), write, done)
+			c.sys.ServiceDemand(pa, c.Locate(pa), write, done)
 		})
 		return
 	}
-	c.sys.ServiceDemand(c.Locate(a.PAddr), a.Write, a.Done)
+	c.sys.ServiceDemand(a.PAddr, c.Locate(a.PAddr), a.Write, a.Done)
 }
 
 // runEpoch sweeps counters, migrates hot FM pages into NM (possibly
@@ -132,9 +138,16 @@ func (c *Controller) runEpoch(now uint64) {
 		hot = hot[:c.MaxMigratePerEpoch]
 	}
 
-	// Cold NM residents, coldest first, for swap-out.
+	// Cold NM residents, coldest first, for swap-out. Only frames whose
+	// resident was never touched are usable as free targets.
+	usable := 0
+	for _, f := range c.freeNM {
+		if !c.used[c.inv[f]] {
+			usable++
+		}
+	}
 	var cold []cand
-	if len(hot) > len(c.freeNM) {
+	if len(hot) > usable {
 		for loc := uint64(0); loc < c.nmBlocks; loc++ {
 			b := c.inv[loc]
 			cold = append(cold, cand{b, c.ctr[b]})
@@ -150,11 +163,10 @@ func (c *Controller) runEpoch(now uint64) {
 	migrated := 0
 	coldIdx := 0
 	for _, h := range hot {
-		if n := len(c.freeNM); n > 0 {
-			frame := c.freeNM[n-1]
-			c.freeNM = c.freeNM[:n-1]
-			// One-way copy: the displaced flat NM block holds no data yet.
-			c.transferBlock(c.locOf(uint64(c.cur[h.blk])), c.locOf(uint64(frame)))
+		if frame, ok := c.popFreeFrame(); ok {
+			// One-way copy: the displaced flat NM block holds no live data
+			// (never accessed), so nothing needs to move the other way.
+			c.sys.RelocateBlockDMA(c.locOf(uint64(c.cur[h.blk])), c.locOf(uint64(frame)), nil)
 			c.swapBlocks(uint64(h.blk), uint64(c.inv[frame]))
 			migrated++
 			continue
@@ -167,8 +179,7 @@ func (c *Controller) runEpoch(now uint64) {
 			break
 		}
 		x, y := uint64(h.blk), uint64(cold[coldIdx].blk)
-		c.transferBlock(c.locOf(uint64(c.cur[x])), c.locOf(uint64(c.cur[y])))
-		c.transferBlock(c.locOf(uint64(c.cur[y])), c.locOf(uint64(c.cur[x])))
+		c.sys.ExchangeBlocksDMA(c.locOf(uint64(c.cur[x])), c.locOf(uint64(c.cur[y])), nil)
 		c.swapBlocks(x, y)
 		coldIdx++
 		migrated++
@@ -187,11 +198,19 @@ func (c *Controller) runEpoch(now uint64) {
 	}
 }
 
-// transferBlock copies one 2 KB page from src to dst as a background DMA.
-func (c *Controller) transferBlock(src, dst mem.Location) {
-	c.sys.ReadBackground(src, memunits.BlockSize, stats.Migration, func() {
-		c.sys.Write(dst, memunits.BlockSize, stats.Migration, nil)
-	})
+// popFreeFrame returns an NM frame usable as a one-way migration target: a
+// frame whose resident flat block was never demand-accessed. Frames whose
+// resident has been touched hold live data and are discarded from the free
+// list (only a two-way swap may displace them).
+func (c *Controller) popFreeFrame() (uint32, bool) {
+	for n := len(c.freeNM); n > 0; n = len(c.freeNM) {
+		frame := c.freeNM[n-1]
+		c.freeNM = c.freeNM[:n-1]
+		if !c.used[c.inv[frame]] {
+			return frame, true
+		}
+	}
+	return 0, false
 }
 
 // locOf returns the device location of location-block loc.

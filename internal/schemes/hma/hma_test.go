@@ -218,6 +218,41 @@ func TestCountersResetEachEpoch(t *testing.T) {
 	}
 }
 
+// TestPopFreeFrameSkipsUsedResidents: a frame still on the free list whose
+// resident flat block has been demand-accessed holds live data and must not
+// be handed out as a one-way migration target.
+func TestPopFreeFrameSkipsUsedResidents(t *testing.T) {
+	eng, sys, c := newTest(1000, 1)
+	_ = eng
+	_ = sys
+	// Touch the flat NM blocks resident in the two frames at the top of the
+	// free stack (pop order is LIFO).
+	n := len(c.freeNM)
+	top, next := c.freeNM[n-1], c.freeNM[n-2]
+	c.used[c.inv[top]] = true
+	c.used[c.inv[next]] = true
+	frame, ok := c.popFreeFrame()
+	if !ok {
+		t.Fatal("free frames exhausted")
+	}
+	if frame == top || frame == next {
+		t.Fatalf("popFreeFrame returned frame %d with a live resident", frame)
+	}
+	if !c.used[c.inv[frame]] && len(c.freeNM) != n-3 {
+		t.Fatalf("used frames not discarded: %d left, want %d", len(c.freeNM), n-3)
+	}
+	// Exhaustion path: mark everything used.
+	for i := range c.used {
+		c.used[i] = true
+	}
+	if _, ok := c.popFreeFrame(); ok {
+		t.Fatal("popFreeFrame handed out a live frame")
+	}
+	if len(c.freeNM) != 0 {
+		t.Fatal("free list not drained on exhaustion")
+	}
+}
+
 func TestName(t *testing.T) {
 	_, _, c := newTest(1000, 1)
 	if c.Name() != "hma" {

@@ -124,12 +124,12 @@ func (c *Controller) Handle(a *mem.Access) {
 	c.bumpCtr(b)
 
 	if c.inNM(loc) {
-		c.sys.ServiceDemand(c.locAddr(s, loc, idx), a.Write, a.Done)
+		c.sys.ServiceDemand(a.PAddr, c.locAddr(s, loc, idx), a.Write, a.Done)
 		return
 	}
 
 	// FM resident: service demand from FM, then check the threshold.
-	c.sys.ServiceDemand(c.locAddr(s, loc, idx), a.Write, a.Done)
+	c.sys.ServiceDemand(a.PAddr, c.locAddr(s, loc, idx), a.Write, a.Done)
 	if uint32(c.ctr[b]) >= c.thresh {
 		c.migrate(s, m, loc)
 		c.ctr[b] = 0

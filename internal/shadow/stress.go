@@ -1,0 +1,131 @@
+package shadow
+
+import (
+	"fmt"
+	"math/rand"
+
+	"silcfm/internal/config"
+	"silcfm/internal/core"
+	"silcfm/internal/mem"
+	"silcfm/internal/memunits"
+	"silcfm/internal/schemes/cameo"
+	"silcfm/internal/schemes/flat"
+	"silcfm/internal/schemes/hma"
+	"silcfm/internal/schemes/pom"
+	"silcfm/internal/sim"
+)
+
+// StressOptions parameterize RunStress.
+type StressOptions struct {
+	Scheme config.SchemeName
+	Seed   int64
+	// Ops is the number of demand accesses to drive (default 20000).
+	Ops int
+	// FaultInjectSwapOrder seeds the pre-fix SwapDemand write-ordering bug
+	// so tests can prove the checker catches it.
+	FaultInjectSwapOrder bool
+}
+
+// RunStress drives one controller directly (no CPU model) with an
+// adversarial access mix — uniform noise, hot-block hammering, sequential
+// sweeps and congruence-set ping-pong, 30% writes — under the shadow
+// checker, with periodic mapping audits. It returns the first integrity
+// violation found, or nil. Aggressive scheme tunings (low thresholds, short
+// epochs) make every movement path fire within a short run.
+func RunStress(o StressOptions) error {
+	ops := o.Ops
+	if ops <= 0 {
+		ops = 20000
+	}
+	m := config.Small()
+	m.Scheme = o.Scheme
+	m.NM = config.HBM(256 << 10)
+	m.FM = config.DDR3(1 << 20)
+	m.SILC.HotThreshold = 3
+	m.SILC.AgingInterval = 1 << 10
+	m.HMA.EpochCycles = 1 << 14
+	m.HMA.HotThreshold = 2
+	m.PoM.MigrationThreshold = 4
+
+	eng := sim.NewEngine()
+	sys := mem.NewSystem(m, eng)
+	sys.FaultInjectSwapOrder = o.FaultInjectSwapOrder
+
+	var ctl mem.Controller
+	switch o.Scheme {
+	case config.SchemeBaseline:
+		ctl = flat.NewBaseline(sys)
+	case config.SchemeRandom:
+		ctl = flat.NewStatic(sys)
+	case config.SchemeHMA:
+		ctl = hma.New(sys, m.HMA)
+	case config.SchemeCAMEO:
+		ctl = cameo.New(sys, config.CAMEOConfig{})
+	case config.SchemeCAMEOP:
+		ctl = cameo.New(sys, config.CAMEOConfig{PrefetchLines: 3})
+	case config.SchemePoM:
+		ctl = pom.New(sys, m.PoM)
+	case config.SchemeSILCFM:
+		ctl = core.New(sys, m.SILC)
+	default:
+		return fmt.Errorf("shadow: unknown scheme %q", o.Scheme)
+	}
+
+	nmFlat := sys.NMCap
+	if o.Scheme == config.SchemeBaseline {
+		nmFlat = 0
+	}
+	chk := New(ctl, sys, nmFlat, sys.FMCap)
+	flatCap := nmFlat + sys.FMCap
+	totalBlocks := flatCap / memunits.BlockSize
+
+	rng := rand.New(rand.NewSource(o.Seed))
+	hot := make([]uint64, 4)
+	for i := range hot {
+		hot[i] = rng.Uint64() % totalBlocks
+	}
+	// Congruence-conflict stride: SILC-FM's default geometry has NM-blocks /
+	// ways sets, so blocks this far apart collide in one set; harmless noise
+	// for the other schemes.
+	const conflictStride = 32
+	randSub := func() uint64 {
+		return uint64(rng.Intn(int(memunits.SubblocksPerBlock))) * memunits.SubblockSize
+	}
+	var seq uint64
+	for i := 0; i < ops; i++ {
+		var pa uint64
+		switch (i / 512) % 4 {
+		case 0: // uniform noise
+			pa = (rng.Uint64() % flatCap) &^ (memunits.SubblockSize - 1)
+		case 1: // hot-block hammering (drives locking / migration thresholds)
+			pa = hot[rng.Intn(len(hot))]*memunits.BlockSize + randSub()
+		case 2: // sequential sweep (drives prefetch / history replay)
+			pa = seq % flatCap
+			seq += memunits.SubblockSize
+		case 3: // congruence-set ping-pong (drives victimization / restore)
+			b := (hot[0] + uint64(rng.Intn(8))*conflictStride) % totalBlocks
+			pa = b*memunits.BlockSize + randSub()
+		}
+		chk.Handle(&mem.Access{
+			PC:    uint64(1 + rng.Intn(8)),
+			PAddr: pa,
+			Write: rng.Intn(100) < 30,
+		})
+		if i%64 == 63 {
+			eng.Run()
+		}
+		if i%4096 == 4095 {
+			if err := chk.Err(); err != nil {
+				return err
+			}
+			if err := mem.AuditSample(chk, nmFlat, sys.FMCap, 13); err != nil {
+				return fmt.Errorf("shadow stress [%s]: %w", ctl.Name(), err)
+			}
+		}
+	}
+	eng.Run()
+	if err := mem.Audit(chk, nmFlat, sys.FMCap); err != nil {
+		return fmt.Errorf("shadow stress [%s]: %w", ctl.Name(), err)
+	}
+	return chk.Check()
+}

@@ -1,0 +1,34 @@
+package shadow
+
+import (
+	"testing"
+
+	"silcfm/internal/config"
+)
+
+// allSchemes covers every implemented controller, baseline included.
+var allSchemes = []config.SchemeName{
+	config.SchemeBaseline,
+	config.SchemeRandom,
+	config.SchemeHMA,
+	config.SchemeCAMEO,
+	config.SchemeCAMEOP,
+	config.SchemePoM,
+	config.SchemeSILCFM,
+}
+
+// TestStressAllSchemes hammers every scheme with the adversarial driver
+// under the shadow checker and the mapping audit. Two seeds each so both
+// the access mix and the movement interleavings vary.
+func TestStressAllSchemes(t *testing.T) {
+	for _, s := range allSchemes {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			for _, seed := range []int64{1, 42} {
+				if err := RunStress(StressOptions{Scheme: s, Seed: seed}); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}

@@ -216,18 +216,30 @@ func NewHistogram(bucketWidth uint64, buckets int) *Histogram {
 	return &Histogram{BucketWidth: bucketWidth, Counts: make([]uint64, buckets)}
 }
 
-// Add records a sample.
-func (h *Histogram) Add(v uint64) {
-	i := v / h.BucketWidth
-	if int(i) >= len(h.Counts) {
-		i = uint64(len(h.Counts) - 1)
+// width is the effective bucket width: a zero-valued Histogram is treated
+// as width 1 rather than dividing by zero.
+func (h *Histogram) width() uint64 {
+	if h.BucketWidth == 0 {
+		return 1
 	}
-	h.Counts[i]++
+	return h.BucketWidth
+}
+
+// Add records a sample. Samples beyond the last bucket clamp into it.
+func (h *Histogram) Add(v uint64) {
 	h.N++
 	h.Sum += v
 	if v > h.Max {
 		h.Max = v
 	}
+	if len(h.Counts) == 0 {
+		return
+	}
+	i := v / h.width()
+	if i >= uint64(len(h.Counts)) {
+		i = uint64(len(h.Counts) - 1)
+	}
+	h.Counts[i]++
 }
 
 // Mean returns the average sample.
@@ -249,7 +261,13 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	for i, c := range h.Counts {
 		cum += c
 		if cum >= target {
-			return uint64(i+1) * h.BucketWidth
+			edge := uint64(i+1) * h.width()
+			// The overflow bucket holds clamped samples whose values can
+			// exceed its nominal edge; the observed Max is the true bound.
+			if i == len(h.Counts)-1 && h.Max > edge {
+				return h.Max
+			}
+			return edge
 		}
 	}
 	return h.Max

@@ -148,6 +148,56 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramDegenerateShapes pins the fixed edge cases: a zero-valued
+// Histogram (BucketWidth 0, no Counts) must accept samples without a
+// divide-by-zero panic, and a zero-width histogram with buckets treats the
+// width as 1.
+func TestHistogramDegenerateShapes(t *testing.T) {
+	var h Histogram // BucketWidth 0, Counts nil
+	h.Add(7)
+	h.Add(3)
+	if h.N != 2 || h.Sum != 10 || h.Max != 7 {
+		t.Fatalf("zero-value histogram accounting: N=%d Sum=%d Max=%d", h.N, h.Sum, h.Max)
+	}
+	if p := h.Percentile(99); p != 7 {
+		t.Fatalf("bucketless P99 = %d, want Max", p)
+	}
+
+	hw := Histogram{Counts: make([]uint64, 4)} // width 0 -> 1
+	for _, v := range []uint64{0, 1, 2, 3} {
+		hw.Add(v)
+	}
+	for i, c := range hw.Counts {
+		if c != 1 {
+			t.Fatalf("width-1 bucket %d count = %d", i, c)
+		}
+	}
+}
+
+// TestHistogramPercentileOverflowBucket: samples clamped into the last
+// bucket can exceed its nominal upper edge; the percentile answer must not
+// undershoot the observed Max.
+func TestHistogramPercentileOverflowBucket(t *testing.T) {
+	h := NewHistogram(10, 4)
+	for i := 0; i < 10; i++ {
+		h.Add(1_000_000)
+	}
+	if p := h.Percentile(100); p != 1_000_000 {
+		t.Fatalf("P100 = %d, want the true Max 1000000", p)
+	}
+	if p := h.Percentile(50); p != 1_000_000 {
+		t.Fatalf("P50 = %d, want the true Max for an all-overflow histogram", p)
+	}
+	// Percentiles that resolve inside interior buckets keep the edge bound.
+	h2 := NewHistogram(10, 4)
+	for _, v := range []uint64{1, 1, 1, 99} {
+		h2.Add(v)
+	}
+	if p := h2.Percentile(50); p != 10 {
+		t.Fatalf("interior P50 = %d, want 10", p)
+	}
+}
+
 func TestPredictorAccuracy(t *testing.T) {
 	var m Memory
 	if m.PredictorAccuracy() != 0 {

@@ -18,7 +18,10 @@ func main() {
 		wls = os.Args[1:]
 	}
 	schemes := []config.SchemeName{"base", "rand", "hma", "cam", "camp", "pom", "silc"}
-	type key struct{ wl string; s config.SchemeName }
+	type key struct {
+		wl string
+		s  config.SchemeName
+	}
 	results := map[key]*harness.Result{}
 	var mu sync.Mutex
 	sem := make(chan struct{}, 2)

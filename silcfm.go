@@ -121,6 +121,12 @@ type Options struct {
 	// homogeneous rate mode; mixes are an extension.)
 	Mix []string
 
+	// ShadowCheck runs the continuous shadow-data integrity checker
+	// alongside the simulation (internal/shadow): every demand access and
+	// swap is verified against a token-level reference model, and Run
+	// returns an error on the first violation. Costs simulation speed.
+	ShadowCheck bool
+
 	Seed int64
 }
 
@@ -229,6 +235,7 @@ func Run(o Options) (*Report, error) {
 		ScaleInstrByClass: o.ScaleInstrByClass,
 		TracePath:         o.TracePath,
 		Mix:               o.Mix,
+		ShadowCheck:       o.ShadowCheck,
 	}
 	if o.FootprintScaleDen > 1 {
 		spec.FootScaleNum, spec.FootScaleDen = 1, o.FootprintScaleDen
@@ -239,6 +246,9 @@ func Run(o Options) (*Report, error) {
 	}
 	if res.AuditErr != nil {
 		return nil, fmt.Errorf("silcfm: data-integrity audit failed: %w", res.AuditErr)
+	}
+	if res.ShadowErr != nil {
+		return nil, fmt.Errorf("silcfm: shadow integrity check failed: %w", res.ShadowErr)
 	}
 	return reportOf(res), nil
 }
