@@ -15,12 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"silcfm/internal/config"
 	"silcfm/internal/harness"
 	"silcfm/internal/stats"
+	"silcfm/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +33,13 @@ func main() {
 		par   = flag.Int("par", 0, "parallel simulations (default GOMAXPROCS)")
 		seed  = flag.Int64("seed", 0, "random seed")
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+
+		metricsDir   = flag.String("metrics-out", "", "write per-run epoch metrics into this directory as <label>_<workload>.jsonl")
+		metricsEpoch = flag.Uint64("metrics-epoch", 0, "metrics sampling period in cycles (0 = default 200000)")
+		traceDir     = flag.String("trace-out", "", "write per-run Perfetto movement traces into this directory as <label>_<workload>.json")
+		traceLimit   = flag.Int("trace-limit", 0, "movement-trace ring buffer size in events (0 = default 262144)")
+		progress     = flag.Bool("progress", false, "print one line per completed run to stderr")
+		shadowOn     = flag.Bool("shadow", false, "run the continuous shadow-data integrity checker on every run (slower)")
 	)
 	flag.Parse()
 
@@ -42,9 +51,48 @@ func main() {
 		Machine:      m,
 		InstrPerCore: *instr,
 		Parallelism:  *par,
+		ShadowCheck:  *shadowOn,
 	}
 	if *wls != "" {
 		cfg.Workloads = strings.Split(*wls, ",")
+	}
+	if *progress {
+		cfg.Progress = os.Stderr
+	}
+	if *metricsDir != "" || *traceDir != "" {
+		for _, dir := range []string{*metricsDir, *traceDir} {
+			if dir == "" {
+				continue
+			}
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "silcfm-experiments:", err)
+				os.Exit(1)
+			}
+		}
+		cfg.Telemetry = func(label, wl string) *telemetry.Config {
+			tc := &telemetry.Config{EpochCycles: *metricsEpoch, TraceLimit: *traceLimit}
+			name := label + "_" + wl
+			if *metricsDir != "" {
+				f, err := os.Create(filepath.Join(*metricsDir, name+".jsonl"))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "silcfm-experiments:", err)
+					return nil
+				}
+				tc.MetricsW = f
+			}
+			if *traceDir != "" {
+				f, err := os.Create(filepath.Join(*traceDir, name+".json"))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "silcfm-experiments:", err)
+					if c, ok := tc.MetricsW.(*os.File); ok {
+						c.Close()
+					}
+					return nil
+				}
+				tc.TraceW = f
+			}
+			return tc
+		}
 	}
 
 	emit := func(t *stats.Table) {

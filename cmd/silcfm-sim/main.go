@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"silcfm"
@@ -34,8 +36,45 @@ func main() {
 		mix      = flag.String("mix", "", "comma-separated heterogeneous mix (core i runs mix[i mod n])")
 		foot     = flag.Int("footscale", 0, "divide workload footprints by N (for small -nm/-fm machines)")
 		shadowOn = flag.Bool("shadow", false, "run the continuous shadow-data integrity checker (slower)")
+
+		metricsOut   = flag.String("metrics-out", "", "stream epoch time-series metrics to this file (JSONL; .csv extension switches to CSV)")
+		metricsEpoch = flag.Uint64("metrics-epoch", 0, "metrics sampling period in cycles (0 = default 200000)")
+		traceOut     = flag.String("trace-out", "", "write a Chrome/Perfetto trace of movement events to this file")
+		traceLimit   = flag.Int("trace-limit", 0, "movement-trace ring buffer size in events (0 = default 262144)")
+		progress     = flag.Bool("progress", false, "print a progress line per metrics epoch to stderr")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulator process to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile of the simulator process to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "silcfm-sim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "silcfm-sim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "silcfm-sim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "silcfm-sim:", err)
+			}
+		}()
+	}
 
 	// When replaying a trace, the workload name defaults to the trace's
 	// own label unless -workload was given explicitly.
@@ -63,7 +102,14 @@ func main() {
 		FMCapacity:        *fm << 20,
 		FootprintScaleDen: *foot,
 		ShadowCheck:       *shadowOn,
+		MetricsOut:        *metricsOut,
+		MetricsEpoch:      *metricsEpoch,
+		TraceOut:          *traceOut,
+		TraceLimit:        *traceLimit,
 		Seed:              *seed,
+	}
+	if *progress {
+		opts.ProgressOut = os.Stderr
 	}
 	if *noLock || *noBypass || *ways != 4 {
 		f := silcfm.FullFeatures()
@@ -86,6 +132,12 @@ func main() {
 	if *compare {
 		b := opts
 		b.Scheme = silcfm.Baseline
+		// The baseline leg is only a cycle-count reference: skip the shadow
+		// checker (it verifies nothing a non-remapping scheme can violate
+		// and would double the -compare runtime) and don't let its
+		// telemetry clobber the main run's output files.
+		b.ShadowCheck = false
+		b.MetricsOut, b.TraceOut, b.ProgressOut = "", "", nil
 		base, err := silcfm.Run(b)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "silcfm-sim: baseline:", err)
@@ -116,6 +168,10 @@ func printReport(r *silcfm.Report) {
 	}
 	if r.Migrations > 0 {
 		fmt.Printf("migrations:         %d\n", r.Migrations)
+	}
+	for _, p := range r.DemandLatency {
+		fmt.Printf("latency %-11s n=%-9d mean=%-8.1f p50=%-6d p95=%-6d p99=%d\n",
+			p.Path+":", p.Count, p.Mean, p.P50, p.P95, p.P99)
 	}
 }
 

@@ -9,10 +9,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"silcfm/internal/memunits"
 	"silcfm/internal/workload"
 )
 
@@ -25,12 +28,16 @@ func main() {
 		n       = flag.Uint64("n", 1_000_000, "references to capture")
 		out     = flag.String("o", "", "output file (default <workload>.sfmt)")
 		seed    = flag.Int64("seed", 1, "generator seed")
+
+		metricsOut   = flag.String("metrics-out", "", "with -gen: stream windowed workload-characterization JSONL to this file")
+		metricsEpoch = flag.Uint64("metrics-epoch", 100_000, "references per characterization window")
+		progress     = flag.Bool("progress", false, "with -gen: print a progress line per window to stderr")
 	)
 	flag.Parse()
 
 	switch {
 	case *gen:
-		if err := generate(*wl, *n, *out, *seed); err != nil {
+		if err := generate(*wl, *n, *out, *seed, *metricsOut, *metricsEpoch, *progress); err != nil {
 			fmt.Fprintln(os.Stderr, "silcfm-trace:", err)
 			os.Exit(1)
 		}
@@ -47,7 +54,7 @@ func main() {
 	}
 }
 
-func generate(wl string, n uint64, out string, seed int64) error {
+func generate(wl string, n uint64, out string, seed int64, metricsOut string, window uint64, progress bool) error {
 	g, ok := workload.New(wl, seed)
 	if !ok {
 		return fmt.Errorf("unknown workload %q", wl)
@@ -64,10 +71,33 @@ func generate(wl string, n uint64, out string, seed int64) error {
 	if err != nil {
 		return err
 	}
+	var mw *windowMetrics
+	if metricsOut != "" {
+		mf, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		mw = newWindowMetrics(mf, window)
+	}
 	var r workload.Ref
 	for i := uint64(0); i < n; i++ {
 		g.Next(&r)
 		if err := w.Write(r); err != nil {
+			return err
+		}
+		if mw != nil {
+			if err := mw.observe(&r); err != nil {
+				return err
+			}
+		}
+		if progress && window > 0 && (i+1)%window == 0 {
+			fmt.Fprintf(os.Stderr, "progress: refs=%d/%d (%.1f%%)\n",
+				i+1, n, 100*float64(i+1)/float64(n))
+		}
+	}
+	if mw != nil {
+		if err := mw.finish(); err != nil {
 			return err
 		}
 	}
@@ -75,6 +105,98 @@ func generate(wl string, n uint64, out string, seed int64) error {
 		return err
 	}
 	fmt.Printf("wrote %d references for %s to %s\n", w.Count(), wl, out)
+	return nil
+}
+
+// windowMetrics streams per-window workload characterization as JSONL: one
+// line per `window` references with reference, write, instruction and
+// unique-page/subblock counts. Field order is fixed, so output is
+// byte-deterministic for a fixed seed.
+type windowMetrics struct {
+	w      io.Writer
+	window uint64
+
+	idx       uint64
+	refs      uint64
+	writes    uint64
+	instr     uint64
+	pages     map[uint64]struct{}
+	subblocks map[uint64]struct{}
+}
+
+type windowSample struct {
+	Window    uint64  `json:"window"`
+	Refs      uint64  `json:"refs"`
+	Writes    uint64  `json:"writes"`
+	WriteFrac float64 `json:"write_frac"`
+	Instr     uint64  `json:"instr"`
+	MeanGap   float64 `json:"mean_gap"`
+	Pages     int     `json:"pages"`
+	Subblocks int     `json:"subblocks"`
+	// SubblocksPerPage measures spatial locality within the window.
+	SubblocksPerPage float64 `json:"subblocks_per_page"`
+}
+
+func newWindowMetrics(w io.Writer, window uint64) *windowMetrics {
+	if window == 0 {
+		window = 100_000
+	}
+	return &windowMetrics{
+		w: w, window: window,
+		pages:     map[uint64]struct{}{},
+		subblocks: map[uint64]struct{}{},
+	}
+}
+
+func (m *windowMetrics) observe(r *workload.Ref) error {
+	m.refs++
+	if r.Write {
+		m.writes++
+	}
+	m.instr += uint64(r.Gap)
+	m.pages[memunits.BlockOf(r.VAddr)] = struct{}{}
+	m.subblocks[memunits.SubblockOf(r.VAddr)] = struct{}{}
+	if m.refs < m.window {
+		return nil
+	}
+	return m.flush()
+}
+
+func (m *windowMetrics) finish() error {
+	if m.refs == 0 {
+		return nil
+	}
+	return m.flush()
+}
+
+func (m *windowMetrics) flush() error {
+	s := windowSample{
+		Window:    m.idx,
+		Refs:      m.refs,
+		Writes:    m.writes,
+		Instr:     m.instr,
+		Pages:     len(m.pages),
+		Subblocks: len(m.subblocks),
+	}
+	if m.refs > 0 {
+		s.WriteFrac = float64(m.writes) / float64(m.refs)
+		s.MeanGap = float64(m.instr) / float64(m.refs)
+	}
+	if len(m.pages) > 0 {
+		s.SubblocksPerPage = float64(len(m.subblocks)) / float64(len(m.pages))
+	}
+	b, err := json.Marshal(&s)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := m.w.Write(b); err != nil {
+		return err
+	}
+	m.idx++
+	m.refs, m.writes, m.instr = 0, 0, 0
+	m.pages = map[uint64]struct{}{}
+	m.subblocks = map[uint64]struct{}{}
 	return nil
 }
 

@@ -139,6 +139,7 @@ func (c *Controller) Handle(a *mem.Access) {
 	// the serialized metadata fetch (§III-F).
 	actualNM, actualWay := c.actualLocation(b, idx)
 	serialized := true
+	mispred := false
 	if c.cfg.Features.Predictor {
 		pNM, pWay, ok := c.pred.predict(a.PC, a.PAddr)
 		if ok && pNM == actualNM && (!pNM || pWay == actualWay) {
@@ -146,6 +147,7 @@ func (c *Controller) Handle(a *mem.Access) {
 			serialized = false
 		} else {
 			st.PredictorMisses++
+			mispred = true
 		}
 		c.pred.update(a.PC, a.PAddr, actualNM, actualWay)
 	}
@@ -157,12 +159,21 @@ func (c *Controller) Handle(a *mem.Access) {
 		// latency). The metadata line transfer itself rides the dedicated
 		// channel off the demand queues.
 		c.readMeta(b, 64)
-		c.sys.Eng.After(c.metaLatency, func() { c.dispatch(a, b, idx) })
+		c.sys.Eng.After(c.metaLatency, func() { c.dispatch(a, b, idx, mispred) })
 		return
 	}
 	// Predicted: the verification fetch proceeds off the critical path.
 	c.readMeta(b, metaEntrySize)
-	c.dispatch(a, b, idx)
+	c.dispatch(a, b, idx, mispred)
+}
+
+// pathOr classifies a demand under base unless the access paid the
+// serialized metadata fetch after a predictor miss, which dominates.
+func pathOr(base stats.DemandPath, mispred bool) stats.DemandPath {
+	if mispred {
+		return stats.PathMispredict
+	}
+	return base
 }
 
 // readMeta charges block b's set-metadata transfer to the dedicated
@@ -197,19 +208,21 @@ func (c *Controller) actualLocation(b uint64, idx uint) (inNM bool, way uint8) {
 	return false, 0
 }
 
-// dispatch runs the Table I state machine for one access.
-func (c *Controller) dispatch(a *mem.Access, b uint64, idx uint) {
+// dispatch runs the Table I state machine for one access. mispred records
+// whether the access already paid the serialized metadata fetch (for path
+// latency classification).
+func (c *Controller) dispatch(a *mem.Access, b uint64, idx uint, mispred bool) {
 	if b < c.nmBlocks {
-		c.handleNMAddress(a, b, idx)
+		c.handleNMAddress(a, b, idx, mispred)
 	} else {
-		c.handleFMAddress(a, b, idx)
+		c.handleFMAddress(a, b, idx, mispred)
 	}
 }
 
 // handleNMAddress serves a request whose flat address belongs to the NM
 // space (Table I rows with "NM Address = yes" plus the remap-match row for
 // the home block).
-func (c *Controller) handleNMAddress(a *mem.Access, b uint64, idx uint) {
+func (c *Controller) handleNMAddress(a *mem.Access, b uint64, idx uint, mispred bool) {
 	fr := &c.fs.frames[b]
 	fr.lastUse = c.sys.Eng.Now()
 	bump(&fr.nmCtr, c.ctrMax)
@@ -218,7 +231,7 @@ func (c *Controller) handleNMAddress(a *mem.Access, b uint64, idx uint) {
 	swappedOut := fr.remap != noRemap && fr.bits.Test(idx)
 	if !swappedOut {
 		// Home subblock resident: service from NM.
-		c.serviceNM(a, c.nmLoc(b, idx))
+		c.serviceNM(a, c.nmLoc(b, idx), pathOr(stats.PathNMHit, mispred))
 		c.maybeLockHome(b)
 		return
 	}
@@ -226,10 +239,12 @@ func (c *Controller) handleNMAddress(a *mem.Access, b uint64, idx uint) {
 	if fr.locked || c.gov.bypassing() {
 		// Locked frames keep the interleaved block pinned; under bypass no
 		// state changes either. Service from FM.
+		path := stats.PathFM
 		if !fr.locked {
 			st.BypassedAccesses++
+			path = stats.PathBypass
 		}
-		c.serviceFM(a, c.fmHome(fr.remap, idx))
+		c.serviceFM(a, c.fmHome(fr.remap, idx), pathOr(path, mispred))
 		c.maybeLockHome(b)
 		return
 	}
@@ -237,13 +252,13 @@ func (c *Controller) handleNMAddress(a *mem.Access, b uint64, idx uint) {
 	// address). The interleaved block's subblock returns to its FM home.
 	fr.bits.Clear(idx)
 	st.SwapsOut++
-	c.moveBetween(a, c.fmHome(fr.remap, idx), c.nmLoc(b, idx))
+	c.moveBetween(a, c.fmHome(fr.remap, idx), c.nmLoc(b, idx), pathOr(stats.PathSwap, mispred))
 	c.writeMetaUpdate(c.fs.setOf(b))
 	c.maybeLockHome(b)
 }
 
 // handleFMAddress serves a request whose flat address belongs to FM space.
-func (c *Controller) handleFMAddress(a *mem.Access, b uint64, idx uint) {
+func (c *Controller) handleFMAddress(a *mem.Access, b uint64, idx uint, mispred bool) {
 	s := c.fs.setOf(b)
 	st := c.sys.Stats
 	f, found := c.fs.findRemap(s, b)
@@ -253,19 +268,19 @@ func (c *Controller) handleFMAddress(a *mem.Access, b uint64, idx uint) {
 		bump(&fr.fmCtr, c.ctrMax)
 		if fr.bits.Test(idx) {
 			// Table I row 1: remap match, bit set -> service from NM.
-			c.serviceNM(a, c.nmLoc(f, idx))
+			c.serviceNM(a, c.nmLoc(f, idx), pathOr(stats.PathNMHit, mispred))
 			c.maybeLockRemap(f)
 			return
 		}
 		// Table I row 2: remap match, bit clear -> swap subblock from FM.
 		if c.gov.bypassing() {
 			st.BypassedAccesses++
-			c.serviceFM(a, c.fmHome(b, idx))
+			c.serviceFM(a, c.fmHome(b, idx), pathOr(stats.PathBypass, mispred))
 			return
 		}
 		fr.bits.Set(idx)
 		st.SwapsIn++
-		c.moveBetween(a, c.fmHome(b, idx), c.nmLoc(f, idx))
+		c.moveBetween(a, c.fmHome(b, idx), c.nmLoc(f, idx), pathOr(stats.PathSwap, mispred))
 		c.writeMetaUpdate(s)
 		c.maybeLockRemap(f)
 		return
@@ -273,9 +288,16 @@ func (c *Controller) handleFMAddress(a *mem.Access, b uint64, idx uint) {
 
 	// No frame in the set holds this block: service from FM, then decide
 	// whether to start interleaving it (Table I rows 5/6 when a victim
-	// must first be restored).
-	c.serviceFM(a, c.fmHome(b, idx))
-	if c.gov.bypassing() {
+	// must first be restored). The governor is consulted after recording
+	// this miss, exactly as the service call ordered it before.
+	c.gov.record(false)
+	bypassed := c.gov.bypassing()
+	path := stats.PathFM
+	if bypassed {
+		path = stats.PathBypass
+	}
+	c.sys.ServiceAccess(a, c.fmHome(b, idx), pathOr(path, mispred))
+	if bypassed {
 		st.BypassedAccesses++
 		return
 	}
@@ -366,6 +388,7 @@ func (c *Controller) maybeLockRemap(f uint64) {
 	fr.locked = true
 	fr.lockHome = false
 	c.sys.Stats.Locks++
+	c.sys.NoteLock(f, false)
 	c.writeMetaUpdate(c.fs.setOf(f))
 }
 
@@ -392,6 +415,7 @@ func (c *Controller) maybeLockHome(b uint64) {
 	fr.locked = true
 	fr.lockHome = true
 	c.sys.Stats.Locks++
+	c.sys.NoteLock(b, true)
 	c.writeMetaUpdate(c.fs.setOf(b))
 }
 
@@ -420,28 +444,29 @@ func (c *Controller) ageAndUnlock() {
 			fr.locked = false
 			fr.lockHome = false
 			c.sys.Stats.Unlocks++
+			c.sys.NoteUnlock(uint64(i))
 		}
 	}
 }
 
 // serviceNM completes a demand access from near memory.
-func (c *Controller) serviceNM(a *mem.Access, loc mem.Location) {
+func (c *Controller) serviceNM(a *mem.Access, loc mem.Location, path stats.DemandPath) {
 	c.gov.record(true)
-	c.sys.ServiceDemand(a.PAddr, loc, a.Write, a.Done)
+	c.sys.ServiceAccess(a, loc, path)
 }
 
 // serviceFM completes a demand access from far memory.
-func (c *Controller) serviceFM(a *mem.Access, loc mem.Location) {
+func (c *Controller) serviceFM(a *mem.Access, loc mem.Location, path stats.DemandPath) {
 	c.gov.record(false)
-	c.sys.ServiceDemand(a.PAddr, loc, a.Write, a.Done)
+	c.sys.ServiceAccess(a, loc, path)
 }
 
 // moveBetween services the demand at src and installs the data at dst,
 // sending dst's previous contents back to src — the interleaved swap of
 // Figure 2, with the demand transfer doubling as a migration transfer.
-func (c *Controller) moveBetween(a *mem.Access, src, dst mem.Location) {
+func (c *Controller) moveBetween(a *mem.Access, src, dst mem.Location, path stats.DemandPath) {
 	c.gov.record(src.Level == stats.NM)
-	c.sys.SwapDemand(a.PAddr, src, dst, a.Write, a.Done)
+	c.sys.SwapAccess(a, src, dst, path)
 }
 
 // writeMetaUpdate charges the metadata write-back for a state change.
@@ -463,6 +488,44 @@ func (c *Controller) Bypassing() bool { return c.gov.bypassing() }
 // table.
 func (c *Controller) HistoryStats() (stores, lookups, hits uint64) {
 	return c.hist.stores, c.hist.lookups, c.hist.hits
+}
+
+// Gauges implements mem.GaugeProvider: the instantaneous scheme state the
+// epoch sampler reports alongside counter deltas (§III mechanisms: frame
+// residency, locking, the bypass governor, the history table, the
+// dedicated metadata channel).
+func (c *Controller) Gauges() []mem.Gauge {
+	snap := c.Snapshot()
+	used, total := c.hist.occupancy()
+	_, lookups, hits := c.HistoryStats()
+	histRate := 0.0
+	if lookups > 0 {
+		histRate = float64(hits) / float64(lookups)
+	}
+	bypassing := 0.0
+	if c.gov.bypassing() {
+		bypassing = 1
+	}
+	ms := c.meta.Stats()
+	metaRowRate := 0.0
+	if t := ms.RowHits + ms.RowMisses; t > 0 {
+		metaRowRate = float64(ms.RowHits) / float64(t)
+	}
+	return []mem.Gauge{
+		{Name: "locked_frames", Value: float64(snap.Locked)},
+		{Name: "locked_home_frames", Value: float64(snap.LockedHome)},
+		{Name: "interleaved_frames", Value: float64(snap.Interleaved)},
+		{Name: "resident_subblocks", Value: float64(snap.ResidentSubblocks)},
+		{Name: "mean_residency", Value: snap.MeanResidency()},
+		{Name: "bypassing", Value: bypassing},
+		{Name: "bypass_toggles", Value: float64(c.gov.toggles)},
+		{Name: "history_occupancy", Value: float64(used) / float64(total)},
+		{Name: "history_hit_rate", Value: histRate},
+		{Name: "history_prefetches", Value: float64(c.HistoryPrefetches)},
+		{Name: "restores", Value: float64(c.Restores)},
+		{Name: "meta_row_hit_rate", Value: metaRowRate},
+		{Name: "meta_queue_depth", Value: float64(c.meta.QueueDepth())},
+	}
 }
 
 // LockedFrames counts currently locked frames.

@@ -49,6 +49,16 @@ func (h *historyTable) save(pc, addr uint64, vec memunits.BitVector) {
 	h.stores++
 }
 
+// occupancy reports how many table entries hold a saved vector.
+func (h *historyTable) occupancy() (used, total int) {
+	for _, t := range h.tags {
+		if t != 0 {
+			used++
+		}
+	}
+	return used, len(h.tags)
+}
+
 // lookup returns the saved vector for (pc, addr), or 0.
 func (h *historyTable) lookup(pc, addr uint64) memunits.BitVector {
 	h.lookups++

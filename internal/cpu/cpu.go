@@ -112,6 +112,7 @@ func (c *Core) run() {
 				Core:  c.id,
 				PC:    r.PC,
 				PAddr: pa,
+				Start: c.eng.Now(),
 				Done:  func() { c.completeMiss(instrAt) },
 			})
 		}
@@ -168,7 +169,7 @@ func NewComplexTargets(m config.Machine, eng *sim.Engine, gens []workload.Genera
 	xlate Translate, ctl mem.Controller, targets []uint64) *Complex {
 	hier := cache.NewHierarchy(len(gens), m.L1D, m.L2)
 	hier.Writeback = func(pa uint64) {
-		ctl.Handle(&mem.Access{PAddr: pa, Write: true})
+		ctl.Handle(&mem.Access{PAddr: pa, Write: true, Start: eng.Now()})
 	}
 	cx := &Complex{Hier: hier}
 	for i, g := range gens {

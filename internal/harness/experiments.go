@@ -2,11 +2,13 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 
 	"silcfm/internal/config"
 	"silcfm/internal/stats"
+	"silcfm/internal/telemetry"
 	"silcfm/internal/workload"
 )
 
@@ -18,6 +20,14 @@ type ExpConfig struct {
 	FootScaleNum int
 	FootScaleDen int
 	Parallelism  int
+	// ShadowCheck enables the continuous integrity checker on every run.
+	ShadowCheck bool
+	// Telemetry, when non-nil, builds a per-run telemetry config (the
+	// baseline leg gets label "baseline"). Returned writers implementing
+	// io.Closer are closed when the run finishes; return nil to skip a run.
+	Telemetry func(label, wl string) *telemetry.Config
+	// Progress, when non-nil, receives one completion line per finished run.
+	Progress io.Writer
 }
 
 func (c ExpConfig) workloads() []string {
@@ -146,6 +156,14 @@ func Sweep(cfg ExpConfig, variants []Variant) (*SweepResult, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			label := j.label
+			if label == "" {
+				label = "baseline"
+			}
+			var tcfg *telemetry.Config
+			if cfg.Telemetry != nil {
+				tcfg = cfg.Telemetry(label, j.wl)
+			}
 			r, err := Run(Spec{
 				Machine:           j.mach,
 				Workload:          j.wl,
@@ -153,9 +171,19 @@ func Sweep(cfg ExpConfig, variants []Variant) (*SweepResult, error) {
 				ScaleInstrByClass: true,
 				FootScaleNum:      cfg.FootScaleNum,
 				FootScaleDen:      cfg.FootScaleDen,
+				ShadowCheck:       cfg.ShadowCheck,
+				Telemetry:         tcfg,
 			})
+			closeTelemetry(tcfg)
 			mu.Lock()
 			defer mu.Unlock()
+			if cfg.Progress != nil {
+				status := "ok"
+				if err != nil {
+					status = "error: " + err.Error()
+				}
+				fmt.Fprintf(cfg.Progress, "done %s/%s: %s\n", label, j.wl, status)
+			}
 			if err != nil {
 				if firstErr == nil {
 					firstErr = fmt.Errorf("%s/%s: %w", j.label, j.wl, err)
@@ -164,6 +192,10 @@ func Sweep(cfg ExpConfig, variants []Variant) (*SweepResult, error) {
 			}
 			if r.AuditErr != nil && firstErr == nil {
 				firstErr = fmt.Errorf("%s/%s: %w", j.label, j.wl, r.AuditErr)
+				return
+			}
+			if r.ShadowErr != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s/%s: %w", j.label, j.wl, r.ShadowErr)
 				return
 			}
 			if j.label == "" {
@@ -387,6 +419,19 @@ func (h Headline) String() string {
 		h.SwapOverStatic*100, h.LockIncrement*100, h.AssocIncrement*100,
 		h.BypassIncrement*100, h.TotalOverStatic*100, h.BestAlt,
 		h.OverBestAlt*100, h.EDPReduction*100)
+}
+
+// closeTelemetry closes any per-run telemetry writers that are closable
+// (Sweep owns their lifecycle; single runs close their own files).
+func closeTelemetry(tcfg *telemetry.Config) {
+	if tcfg == nil {
+		return
+	}
+	for _, w := range []io.Writer{tcfg.MetricsW, tcfg.TraceW, tcfg.ProgressW} {
+		if c, ok := w.(io.Closer); ok {
+			c.Close()
+		}
+	}
 }
 
 func variantLabels(vs []Variant) []string {

@@ -21,6 +21,7 @@ import (
 	"silcfm/internal/shadow"
 	"silcfm/internal/sim"
 	"silcfm/internal/stats"
+	"silcfm/internal/telemetry"
 	"silcfm/internal/vm"
 	"silcfm/internal/workload"
 )
@@ -50,6 +51,11 @@ type Spec struct {
 	// swap is verified against a token-level reference model. Costs
 	// simulation speed; enable in tests, leave off in benchmarks.
 	ShadowCheck bool
+	// Telemetry, when non-nil, attaches the observability layer (epoch
+	// metrics sampler, movement tracer, progress reporting — see
+	// internal/telemetry). Telemetry is read-only: it never changes Cycles
+	// or any counter.
+	Telemetry *telemetry.Config
 }
 
 // Result is one completed simulation.
@@ -61,6 +67,9 @@ type Result struct {
 	// ShadowErr is non-nil when the continuous shadow checker observed an
 	// integrity violation (only set when Spec.ShadowCheck is enabled).
 	ShadowErr error
+	// Lat holds the per-path demand-completion latency histograms (see
+	// stats.DemandPath); always populated.
+	Lat *stats.PathLatencies
 }
 
 // placementFor returns the first-touch allocation policy each scheme
@@ -200,11 +209,31 @@ func Run(spec Spec) (*Result, error) {
 		return space.MustTranslate(vm.CoreVA(c, va))
 	}
 
+	// Telemetry attaches after the shadow checker so the tracer joins the
+	// observer fanout without displacing it; gauges come from the raw
+	// controller (the checker wrapper does not forward them).
+	tel := telemetry.Attach(spec.Telemetry, sys, rawCtl)
+
 	cx := cpu.NewComplexTargets(m, eng, gens, xlate, ctl, targets)
+	var targetTotal uint64
+	for _, t := range targets {
+		targetTotal += t
+	}
+	tel.SetProgress(func() (uint64, uint64) {
+		var done uint64
+		for _, c := range cx.Cores {
+			done += c.Stats.Instructions
+		}
+		return done, targetTotal
+	})
 	cx.Start()
+	tel.Start()
 	eng.RunWhile(func() bool { return !cx.AllDone() })
 	if !cx.AllDone() {
 		return nil, fmt.Errorf("harness: simulation deadlocked at cycle %d", eng.Now())
+	}
+	if err := tel.Finish(); err != nil {
+		return nil, fmt.Errorf("harness: telemetry: %w", err)
 	}
 
 	res := &Result{}
@@ -218,6 +247,7 @@ func Run(spec Spec) (*Result, error) {
 		res.Cores = append(res.Cores, c.Stats)
 	}
 	res.FootprintPages = space.PagesTouched()
+	res.Lat = sys.Lat
 	// SILC-FM's dedicated metadata channel contributes dynamic energy too.
 	if sc, ok := rawCtl.(*core.Controller); ok {
 		sys.Stats.ExtraEnergyPJ += sc.MetaDeviceStats().DynamicEnergyPJ

@@ -1,0 +1,72 @@
+package mem
+
+// fanout tees every observer event to multiple Observers in attach order,
+// so independent consumers (the shadow integrity checker, the telemetry
+// movement tracer) compose instead of fighting over the single Obs slot.
+// It always implements SchemeObserver, forwarding scheme-level events only
+// to members that handle them.
+type fanout struct {
+	obs []Observer
+}
+
+func (f *fanout) Demand(pa uint64, loc Location, write bool) {
+	for _, o := range f.obs {
+		o.Demand(pa, loc, write)
+	}
+}
+
+func (f *fanout) Capture(loc Location) {
+	for _, o := range f.obs {
+		o.Capture(loc)
+	}
+}
+
+func (f *fanout) Deliver(src, dst Location) {
+	for _, o := range f.obs {
+		o.Deliver(src, dst)
+	}
+}
+
+func (f *fanout) Relocate(src, dst Location) {
+	for _, o := range f.obs {
+		o.Relocate(src, dst)
+	}
+}
+
+func (f *fanout) Swap(a, b Location) {
+	for _, o := range f.obs {
+		if so, ok := o.(SchemeObserver); ok {
+			so.Swap(a, b)
+		}
+	}
+}
+
+func (f *fanout) Lock(frame uint64, home bool) {
+	for _, o := range f.obs {
+		if so, ok := o.(SchemeObserver); ok {
+			so.Lock(frame, home)
+		}
+	}
+}
+
+func (f *fanout) Unlock(frame uint64) {
+	for _, o := range f.obs {
+		if so, ok := o.(SchemeObserver); ok {
+			so.Unlock(frame)
+		}
+	}
+}
+
+// AttachObserver adds o to the System's observer chain. The first attach
+// installs o directly; later attaches tee events to every observer in
+// attach order. All observers see the identical event stream.
+func (s *System) AttachObserver(o Observer) {
+	switch cur := s.Obs.(type) {
+	case nil:
+		s.Obs = o
+	case *fanout:
+		cur.obs = append(cur.obs, o)
+	default:
+		s.Obs = &fanout{obs: []Observer{cur, o}}
+	}
+}

@@ -1,0 +1,133 @@
+package mem
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"silcfm/internal/stats"
+)
+
+// fanObs records the plain Observer stream as strings.
+type fanObs struct {
+	events []string
+}
+
+func (r *fanObs) Demand(pa uint64, loc Location, write bool) {
+	r.events = append(r.events, fmt.Sprintf("demand %x %v %v", pa, loc, write))
+}
+func (r *fanObs) Capture(loc Location) {
+	r.events = append(r.events, fmt.Sprintf("capture %v", loc))
+}
+func (r *fanObs) Deliver(src, dst Location) {
+	r.events = append(r.events, fmt.Sprintf("deliver %v %v", src, dst))
+}
+func (r *fanObs) Relocate(src, dst Location) {
+	r.events = append(r.events, fmt.Sprintf("relocate %v %v", src, dst))
+}
+
+// fanSchemeObs additionally records the SchemeObserver extension.
+type fanSchemeObs struct {
+	fanObs
+}
+
+func (r *fanSchemeObs) Swap(a, b Location) {
+	r.events = append(r.events, fmt.Sprintf("swap %v %v", a, b))
+}
+func (r *fanSchemeObs) Lock(frame uint64, home bool) {
+	r.events = append(r.events, fmt.Sprintf("lock %d %v", frame, home))
+}
+func (r *fanSchemeObs) Unlock(frame uint64) {
+	r.events = append(r.events, fmt.Sprintf("unlock %d", frame))
+}
+
+func emitAll(s *System) {
+	nm := Location{Level: stats.NM, DevAddr: 0}
+	fm := Location{Level: stats.FM, DevAddr: 64}
+	s.NoteDemand(0x40, nm, false)
+	s.NoteCapture(fm)
+	s.NoteDeliver(fm, nm)
+	s.NoteRelocate(nm, fm)
+	s.NoteSwap(nm, fm)
+	s.NoteLock(3, true)
+	s.NoteUnlock(3)
+}
+
+func TestAttachObserverSingle(t *testing.T) {
+	_, s := newSys()
+	a := &fanObs{}
+	s.AttachObserver(a)
+	if s.Obs != Observer(a) {
+		t.Fatal("single observer should attach directly, without a fanout")
+	}
+}
+
+func TestFanoutOrderingAndSchemeFiltering(t *testing.T) {
+	_, s := newSys()
+	plain := &fanObs{}
+	scheme := &fanSchemeObs{}
+	s.AttachObserver(plain)
+	s.AttachObserver(scheme)
+
+	emitAll(s)
+
+	wantPlain := []string{
+		"demand 40 {NM 0} false",
+		"capture {FM 64}",
+		"deliver {FM 64} {NM 0}",
+		"relocate {NM 0} {FM 64}",
+	}
+	wantScheme := append(append([]string{}, wantPlain...),
+		"swap {NM 0} {FM 64}",
+		"lock 3 true",
+		"unlock 3",
+	)
+	if !reflect.DeepEqual(plain.events, wantPlain) {
+		t.Errorf("plain observer events:\n got %q\nwant %q", plain.events, wantPlain)
+	}
+	if !reflect.DeepEqual(scheme.events, wantScheme) {
+		t.Errorf("scheme observer events:\n got %q\nwant %q", scheme.events, wantScheme)
+	}
+}
+
+func TestFanoutBothSeeIdenticalStreams(t *testing.T) {
+	_, s := newSys()
+	a := &fanSchemeObs{}
+	b := &fanSchemeObs{}
+	s.AttachObserver(a)
+	s.AttachObserver(b)
+	// A third member joins an existing fanout rather than re-wrapping.
+	c := &fanSchemeObs{}
+	s.AttachObserver(c)
+
+	emitAll(s)
+	emitAll(s)
+
+	if len(a.events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if !reflect.DeepEqual(a.events, b.events) || !reflect.DeepEqual(a.events, c.events) {
+		t.Errorf("fanout members diverged:\n a %q\n b %q\n c %q", a.events, b.events, c.events)
+	}
+}
+
+func TestFanoutViaCompoundOps(t *testing.T) {
+	eng, s := newSys()
+	a := &fanSchemeObs{}
+	b := &fanSchemeObs{}
+	s.AttachObserver(a)
+	s.AttachObserver(b)
+
+	nm := Location{Level: stats.NM, DevAddr: 0}
+	fm := Location{Level: stats.FM, DevAddr: 128}
+	s.ExchangeSubblocks(nm, fm, nil)
+	s.SwapDemand(0x80, nm, fm, false, nil)
+	eng.Run()
+
+	if len(a.events) == 0 {
+		t.Fatal("compound ops emitted no events")
+	}
+	if !reflect.DeepEqual(a.events, b.events) {
+		t.Errorf("fanout members diverged:\n a %q\n b %q", a.events, b.events)
+	}
+}

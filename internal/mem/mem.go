@@ -22,6 +22,11 @@ type Access struct {
 	PC    uint64
 	PAddr uint64 // flat physical address; NM occupies [0, NMCapacity)
 	Write bool
+	// Start is the cycle at which the access entered the memory system
+	// (set by the submitting core); per-path latency telemetry measures
+	// completion relative to it, so serialized metadata fetches paid
+	// before dispatch are included.
+	Start uint64
 	// Done is called when the demand data is available (reads) or accepted
 	// (writes). May be nil.
 	Done func()
@@ -65,6 +70,35 @@ type Observer interface {
 	Relocate(src, dst Location)
 }
 
+// SchemeObserver is an optional Observer extension for scheme-level
+// semantic events the pure data-movement stream cannot express. Observers
+// that only verify dataflow (the shadow checker) need not implement it;
+// the telemetry tracer does.
+type SchemeObserver interface {
+	// Swap: an exchange between a and b was initiated (subblock swap or
+	// bulk block DMA); the Capture/Deliver pairs describing its dataflow
+	// follow separately.
+	Swap(a, b Location)
+	// Lock: NM frame was locked; home reports whether it pins its own
+	// home block (true) or an interleaved FM block (false).
+	Lock(frame uint64, home bool)
+	// Unlock: NM frame rejoined normal swapping.
+	Unlock(frame uint64)
+}
+
+// Gauge is one named instantaneous scheme measurement, sampled by the
+// telemetry epoch sampler alongside the stats.Memory counter deltas.
+type Gauge struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// GaugeProvider is implemented by controllers that expose internal state
+// (locked frames, governor state, table occupancies) as gauges.
+type GaugeProvider interface {
+	Gauges() []Gauge
+}
+
 // System bundles the devices, clock and counters a controller needs.
 type System struct {
 	Eng   *sim.Engine
@@ -73,6 +107,12 @@ type System struct {
 	NMCap uint64
 	FMCap uint64
 	Stats *stats.Memory
+
+	// Lat accumulates per-path demand-completion latencies (see
+	// stats.DemandPath). Always allocated by NewSystem; recording is a
+	// histogram increment per access and never schedules events, so it
+	// cannot perturb timing.
+	Lat *stats.PathLatencies
 
 	// Obs, when non-nil, receives semantic data-movement events from the
 	// compound operations below (and Note* calls from schemes with custom
@@ -97,6 +137,7 @@ func NewSystem(m config.Machine, eng *sim.Engine) *System {
 		NMCap: m.NM.Capacity,
 		FMCap: m.FM.Capacity,
 		Stats: &stats.Memory{},
+		Lat:   stats.NewPathLatencies(),
 	}
 }
 
@@ -150,6 +191,58 @@ func (s *System) NoteRelocate(src, dst Location) {
 	if s.Obs != nil {
 		s.Obs.Relocate(src, dst)
 	}
+}
+
+// NoteSwap reports an initiated exchange to observers implementing
+// SchemeObserver.
+func (s *System) NoteSwap(a, b Location) {
+	if so, ok := s.Obs.(SchemeObserver); ok {
+		so.Swap(a, b)
+	}
+}
+
+// NoteLock reports a frame lock to observers implementing SchemeObserver.
+func (s *System) NoteLock(frame uint64, home bool) {
+	if so, ok := s.Obs.(SchemeObserver); ok {
+		so.Lock(frame, home)
+	}
+}
+
+// NoteUnlock reports a frame unlock to observers implementing
+// SchemeObserver.
+func (s *System) NoteUnlock(frame uint64) {
+	if so, ok := s.Obs.(SchemeObserver); ok {
+		so.Unlock(frame)
+	}
+}
+
+// DemandDone classifies access a under path for the per-path latency
+// histograms and returns the completion callback to use in its place:
+// invoking it records now-Start under path, then chains to a.Done.
+func (s *System) DemandDone(a *Access, path stats.DemandPath) func() {
+	done := a.Done
+	if s.Lat == nil {
+		return done
+	}
+	lat, eng, start := s.Lat, s.Eng, a.Start
+	return func() {
+		lat.Observe(path, eng.Now()-start)
+		if done != nil {
+			done()
+		}
+	}
+}
+
+// ServiceAccess is ServiceDemand over a full Access, recording the demand
+// completion latency under path.
+func (s *System) ServiceAccess(a *Access, loc Location, path stats.DemandPath) {
+	s.ServiceDemand(a.PAddr, loc, a.Write, s.DemandDone(a, path))
+}
+
+// SwapAccess is SwapDemand over a full Access, recording the demand
+// completion latency under path.
+func (s *System) SwapAccess(a *Access, src, dst Location, path stats.DemandPath) {
+	s.SwapDemand(a.PAddr, src, dst, a.Write, s.DemandDone(a, path))
 }
 
 // Read submits a read of n bytes at loc, accounted under class, invoking
@@ -207,6 +300,7 @@ func (s *System) ServiceDemand(pa uint64, loc Location, write bool, done func())
 // The demand side is NOT included; callers account it separately. fin (may
 // be nil) runs when both writes complete.
 func (s *System) ExchangeSubblocks(a, b Location, fin func()) {
+	s.NoteSwap(a, b)
 	s.NoteCapture(a)
 	s.NoteCapture(b)
 	s.NoteDeliver(a, b)
@@ -235,6 +329,7 @@ func (s *System) ExchangeSubblocks(a, b Location, fin func()) {
 // first; FaultInjectSwapOrder reintroduces the reversed (buggy) order for
 // checker-validation tests.
 func (s *System) SwapDemand(pa uint64, src, dst Location, write bool, done func()) {
+	s.NoteSwap(src, dst)
 	if src.Level == stats.NM {
 		s.Stats.ServicedNM++
 	} else {
@@ -291,6 +386,7 @@ func subblockAt(loc Location, i uint) Location {
 // background-priority reads (bulk migration DMA must not delay demand
 // traffic). fin (may be nil) runs when both writes complete.
 func (s *System) ExchangeBlocksDMA(a, b Location, fin func()) {
+	s.NoteSwap(a, b)
 	for i := uint(0); i < memunits.SubblocksPerBlock; i++ {
 		s.NoteCapture(subblockAt(a, i))
 		s.NoteCapture(subblockAt(b, i))

@@ -30,6 +30,10 @@ type Controller struct {
 	// perm[g*members+m] = location index of member m of group g:
 	// location 0 is the NM slot, location k>=1 is member k's FM home.
 	perm []uint8
+
+	// nmForeign counts NM slots currently holding a line other than their
+	// own member 0 (maintained incrementally by swapIntoNM; a gauge).
+	nmForeign uint64
 }
 
 // New builds a CAMEO controller. cfg.PrefetchLines = 0 gives original
@@ -96,11 +100,25 @@ func (c *Controller) swapIntoNM(g uint64, m int) int {
 	for r := 0; r < c.members; r++ {
 		if c.perm[base+uint64(r)] == 0 {
 			c.perm[base+uint64(r)] = uint8(oldLoc)
+			if r == 0 && m != 0 {
+				c.nmForeign++ // the slot's own line is displaced
+			}
 			break
 		}
 	}
+	if m == 0 && c.nmForeign > 0 {
+		c.nmForeign-- // member 0 returned home
+	}
 	c.perm[base+uint64(m)] = 0
 	return oldLoc
+}
+
+// Gauges implements mem.GaugeProvider.
+func (c *Controller) Gauges() []mem.Gauge {
+	return []mem.Gauge{
+		{Name: "nm_foreign_lines", Value: float64(c.nmForeign)},
+		{Name: "nm_foreign_fraction", Value: float64(c.nmForeign) / float64(c.slots)},
+	}
 }
 
 // Handle implements mem.Controller.
@@ -115,15 +133,16 @@ func (c *Controller) Handle(a *mem.Access) {
 	if loc == 0 {
 		// NM hit: one extended-burst access returns remap entry + data.
 		st.ServicedNM++
+		done := c.sys.DemandDone(a, stats.PathNMHit)
 		c.sys.NoteDemand(a.PAddr, nmSlot, a.Write)
 		if a.Write {
 			c.sys.Write(nmSlot, memunits.SubblockSize, stats.Demand, nil)
 			st.AddBytes(stats.NM, stats.Metadata, remapEntrySize)
-			if a.Done != nil {
-				a.Done()
+			if done != nil {
+				done()
 			}
 		} else {
-			c.sys.ReadMeta(nmSlot, memunits.SubblockSize, remapEntrySize, stats.Demand, a.Done)
+			c.sys.ReadMeta(nmSlot, memunits.SubblockSize, remapEntrySize, stats.Demand, done)
 		}
 		return
 	}
@@ -133,6 +152,7 @@ func (c *Controller) Handle(a *mem.Access) {
 	// victim. The FM access is serialized behind it (§III-F: the remap
 	// entry has to be checked first in NM prior to accessing FM).
 	st.ServicedFM++
+	done := c.sys.DemandDone(a, stats.PathSwap)
 	fmLoc := c.locAddr(g, loc)
 	evictLoc := fmLoc // the victim moves to the requested line's old home
 	c.swapIntoNM(g, m)
@@ -154,15 +174,15 @@ func (c *Controller) Handle(a *mem.Access) {
 			// Write allocate: new data lands in NM, victim goes to FM.
 			c.sys.Write(nmSlot, memunits.SubblockSize, stats.Demand, nil)
 			c.sys.Write(evictLoc, memunits.SubblockSize, stats.Migration, nil)
-			if a.Done != nil {
-				a.Done()
+			if done != nil {
+				done()
 			}
 			return
 		}
 		c.sys.Read(fmLoc, memunits.SubblockSize, stats.Demand, func() {
 			// Demand data returned; install + evict in the background.
-			if a.Done != nil {
-				a.Done()
+			if done != nil {
+				done()
 			}
 			c.sys.Write(nmSlot, memunits.SubblockSize, stats.Migration, nil)
 			c.sys.Write(evictLoc, memunits.SubblockSize, stats.Migration, nil)

@@ -30,7 +30,7 @@ func (b *Baseline) Name() string { return "base" }
 // Handle implements mem.Controller.
 func (b *Baseline) Handle(a *mem.Access) {
 	b.sys.Stats.LLCMisses++
-	b.sys.ServiceDemand(a.PAddr, b.Locate(a.PAddr), a.Write, a.Done)
+	b.sys.ServiceAccess(a, b.Locate(a.PAddr), stats.PathFM)
 }
 
 // Locate implements mem.Controller: identity into FM.
@@ -56,7 +56,12 @@ func (s *Static) Name() string { return "rand" }
 // Handle implements mem.Controller.
 func (s *Static) Handle(a *mem.Access) {
 	s.sys.Stats.LLCMisses++
-	s.sys.ServiceDemand(a.PAddr, s.Locate(a.PAddr), a.Write, a.Done)
+	loc := s.Locate(a.PAddr)
+	path := stats.PathFM
+	if loc.Level == stats.NM {
+		path = stats.PathNMHit
+	}
+	s.sys.ServiceAccess(a, loc, path)
 }
 
 // Locate implements mem.Controller: the home mapping.

@@ -42,6 +42,8 @@ type Controller struct {
 
 	nextEpoch    uint64
 	blockedUntil uint64
+	epochs       uint64 // epoch sweeps run so far
+	stalled      uint64 // demands deferred behind OS epoch work
 
 	// MaxMigratePerEpoch caps the OS migration batch (a real OS bounds its
 	// stop-the-world work). Exported for tests.
@@ -100,14 +102,47 @@ func (c *Controller) Handle(a *mem.Access) {
 		c.runEpoch(now)
 	}
 	if c.blockedUntil > now {
-		// Bulk migration in progress: the request stalls behind it.
-		pa, write, done := a.PAddr, a.Write, a.Done
+		// Bulk migration in progress: the request stalls behind it. Path
+		// classification (and the latency clock, which started at Handle
+		// entry) happens at deferred-service time so the OS stall is
+		// charged to whichever level finally services the demand.
+		c.stalled++
 		c.sys.Eng.At(c.blockedUntil, func() {
-			c.sys.ServiceDemand(pa, c.Locate(pa), write, done)
+			c.service(a)
 		})
 		return
 	}
-	c.sys.ServiceDemand(a.PAddr, c.Locate(a.PAddr), a.Write, a.Done)
+	c.service(a)
+}
+
+// service routes a demand to its current location.
+func (c *Controller) service(a *mem.Access) {
+	loc := c.Locate(a.PAddr)
+	path := stats.PathFM
+	if loc.Level == stats.NM {
+		path = stats.PathNMHit
+	}
+	c.sys.ServiceAccess(a, loc, path)
+}
+
+// Gauges implements mem.GaugeProvider.
+func (c *Controller) Gauges() []mem.Gauge {
+	usable := 0
+	for _, f := range c.freeNM {
+		if !c.used[c.inv[f]] {
+			usable++
+		}
+	}
+	blocked := 0.0
+	if c.blockedUntil > c.sys.Eng.Now() {
+		blocked = 1
+	}
+	return []mem.Gauge{
+		{Name: "epochs", Value: float64(c.epochs)},
+		{Name: "free_nm_frames", Value: float64(usable)},
+		{Name: "os_blocked", Value: blocked},
+		{Name: "stalled_demands", Value: float64(c.stalled)},
+	}
 }
 
 // runEpoch sweeps counters, migrates hot FM pages into NM (possibly
@@ -116,6 +151,7 @@ func (c *Controller) runEpoch(now uint64) {
 	for now >= c.nextEpoch {
 		c.nextEpoch += c.cfg.EpochCycles
 	}
+	c.epochs++
 
 	// Hot FM-resident pages, hottest first.
 	type cand struct {

@@ -124,15 +124,37 @@ func (c *Controller) Handle(a *mem.Access) {
 	c.bumpCtr(b)
 
 	if c.inNM(loc) {
-		c.sys.ServiceDemand(a.PAddr, c.locAddr(s, loc, idx), a.Write, a.Done)
+		c.sys.ServiceAccess(a, c.locAddr(s, loc, idx), stats.PathNMHit)
 		return
 	}
 
-	// FM resident: service demand from FM, then check the threshold.
-	c.sys.ServiceDemand(a.PAddr, c.locAddr(s, loc, idx), a.Write, a.Done)
+	// FM resident: service demand from FM, then check the threshold. The
+	// bulk migration runs after the demand is serviced, so the demand
+	// itself never rides the swap critical path (PoM's threshold wait).
+	c.sys.ServiceAccess(a, c.locAddr(s, loc, idx), stats.PathFM)
 	if uint32(c.ctr[b]) >= c.thresh {
 		c.migrate(s, m, loc)
 		c.ctr[b] = 0
+	}
+}
+
+// Gauges implements mem.GaugeProvider. The remapped-block count scans the
+// permutation tables; it runs only at telemetry epoch granularity.
+func (c *Controller) Gauges() []mem.Gauge {
+	remapped := 0
+	for s := uint64(0); s < c.sets; s++ {
+		base := s * uint64(c.members)
+		for m := 0; m < c.members; m++ {
+			if c.inNM(int(c.perm[base+uint64(m)])) != (m < c.ways) {
+				remapped++
+			}
+		}
+	}
+	// Each exchanged pair contributes two moved members; report blocks
+	// promoted into NM.
+	return []mem.Gauge{
+		{Name: "promoted_blocks", Value: float64(remapped) / 2},
+		{Name: "nm_occupied_fraction", Value: float64(remapped) / 2 / float64(c.nmBlks)},
 	}
 }
 

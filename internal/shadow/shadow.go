@@ -99,7 +99,7 @@ func New(ctl mem.Controller, sys *mem.System, nmFlat, fmFlat uint64) *Checker {
 		k.slot[s] = uint32(t)
 		k.tokenAt[t] = s
 	}
-	sys.Obs = k
+	sys.AttachObserver(k)
 	return k
 }
 

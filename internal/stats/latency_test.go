@@ -1,0 +1,83 @@
+package stats
+
+import "testing"
+
+func TestHistogramPercentilesKnownDistribution(t *testing.T) {
+	// 1..100 with width-1 buckets: value v lands in bucket v, whose upper
+	// edge is v+1, so the p-th percentile bound is p+1.
+	h := NewHistogram(1, 200)
+	for v := uint64(1); v <= 100; v++ {
+		h.Add(v)
+	}
+	for _, tc := range []struct {
+		p    float64
+		want uint64
+	}{{50, 51}, {95, 96}, {99, 100}, {100, 101}} {
+		if got := h.Percentile(tc.p); got != tc.want {
+			t.Errorf("p%.0f = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	if m := h.Mean(); m != 50.5 {
+		t.Errorf("mean = %v, want 50.5", m)
+	}
+}
+
+func TestHistogramPercentilesSkewedDistribution(t *testing.T) {
+	// 90 samples at 10, 9 at 100, 1 at 1000: p50/p95 land in the low
+	// buckets, p99 in the mid, p100 at the outlier.
+	h := NewHistogram(1, 2000)
+	for i := 0; i < 90; i++ {
+		h.Add(10)
+	}
+	for i := 0; i < 9; i++ {
+		h.Add(100)
+	}
+	h.Add(1000)
+	if got := h.Percentile(50); got != 11 {
+		t.Errorf("p50 = %d, want 11 (upper edge of bucket 10)", got)
+	}
+	if got := h.Percentile(95); got != 101 {
+		t.Errorf("p95 = %d, want 101", got)
+	}
+	if got := h.Percentile(99); got != 101 {
+		t.Errorf("p99 = %d, want 101", got)
+	}
+	if got := h.Percentile(100); got != 1001 {
+		t.Errorf("p100 = %d, want 1001", got)
+	}
+}
+
+func TestPathLatenciesObserveAndSummaries(t *testing.T) {
+	p := NewPathLatencies()
+	for i := uint64(0); i < 100; i++ {
+		p.Observe(PathNMHit, 100)
+	}
+	p.Observe(PathSwap, 500)
+	p.Observe(PathSwap, 1500)
+	// Out-of-range paths are ignored, not a panic.
+	p.Observe(DemandPath(99), 1)
+	p.Observe(DemandPath(-1), 1)
+
+	sums := p.Summaries()
+	if len(sums) != 2 {
+		t.Fatalf("want 2 populated paths, got %d: %+v", len(sums), sums)
+	}
+	if sums[0].Path != "nm-hit" || sums[1].Path != "swap" {
+		t.Fatalf("paths out of order: %+v", sums)
+	}
+	nm := sums[0]
+	if nm.Count != 100 || nm.Mean != 100 {
+		t.Errorf("nm-hit summary: %+v", nm)
+	}
+	// Width-16 buckets: 100 lands in bucket 6 with upper edge 112.
+	if nm.P50 != 112 || nm.P99 != 112 {
+		t.Errorf("nm-hit percentiles: %+v", nm)
+	}
+	sw := sums[1]
+	if sw.Count != 2 || sw.Mean != 1000 {
+		t.Errorf("swap summary: %+v", sw)
+	}
+	if sw.P50 != 512 || sw.P99 != 1504 {
+		t.Errorf("swap percentiles: %+v", sw)
+	}
+}

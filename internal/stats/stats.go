@@ -273,6 +273,108 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	return h.Max
 }
 
+// DemandPath classifies how one demand access was serviced, for the
+// per-path latency histograms. The paths follow the decision points of
+// SILC-FM's demand pipeline; schemes without a given mechanism simply
+// never populate that bucket.
+type DemandPath int
+
+const (
+	// PathNMHit is a demand serviced from near memory with no data
+	// movement.
+	PathNMHit DemandPath = iota
+	// PathFM is a demand serviced from far memory with no data movement
+	// (non-resident block, locked-out home subblock, baseline traffic).
+	PathFM
+	// PathSwap is a demand that rode the critical path of a subblock swap
+	// (SILC-FM Figure 2: the demand transfer doubles as a migration leg).
+	PathSwap
+	// PathBypass is a demand deliberately serviced from FM while the
+	// bandwidth-balancing governor suppresses swaps (§III-E).
+	PathBypass
+	// PathMispredict is a demand that paid the serialized remap-metadata
+	// fetch after a way/location predictor miss (§III-F).
+	PathMispredict
+
+	NumDemandPaths
+)
+
+func (p DemandPath) String() string {
+	switch p {
+	case PathNMHit:
+		return "nm-hit"
+	case PathFM:
+		return "fm"
+	case PathSwap:
+		return "swap"
+	case PathBypass:
+		return "bypass"
+	case PathMispredict:
+		return "mispredict"
+	default:
+		return "unknown"
+	}
+}
+
+// latencyBucketWidth/latencyBuckets size the per-path histograms: 16-cycle
+// resolution out to 16K cycles, beyond which samples clamp into the
+// overflow bucket (whose percentile bound falls back to the observed Max).
+const (
+	latencyBucketWidth = 16
+	latencyBuckets     = 1024
+)
+
+// PathLatencies accumulates demand-latency histograms per service path.
+type PathLatencies struct {
+	Hist [NumDemandPaths]Histogram
+}
+
+// NewPathLatencies builds the per-path histogram set.
+func NewPathLatencies() *PathLatencies {
+	p := &PathLatencies{}
+	for i := range p.Hist {
+		p.Hist[i] = Histogram{BucketWidth: latencyBucketWidth, Counts: make([]uint64, latencyBuckets)}
+	}
+	return p
+}
+
+// Observe records one demand completion latency under path.
+func (p *PathLatencies) Observe(path DemandPath, lat uint64) {
+	if path < 0 || path >= NumDemandPaths {
+		return
+	}
+	p.Hist[path].Add(lat)
+}
+
+// PathSummary is the reduced form of one path's latency histogram.
+type PathSummary struct {
+	Path          string
+	Count         uint64
+	Mean          float64
+	P50, P95, P99 uint64
+}
+
+// Summaries reduces every populated path to count/mean/p50/p95/p99, in
+// DemandPath order (deterministic).
+func (p *PathLatencies) Summaries() []PathSummary {
+	var out []PathSummary
+	for i := DemandPath(0); i < NumDemandPaths; i++ {
+		h := &p.Hist[i]
+		if h.N == 0 {
+			continue
+		}
+		out = append(out, PathSummary{
+			Path:  i.String(),
+			Count: h.N,
+			Mean:  h.Mean(),
+			P50:   h.Percentile(50),
+			P95:   h.Percentile(95),
+			P99:   h.Percentile(99),
+		})
+	}
+	return out
+}
+
 // Table formats labeled rows for experiment output.
 type Table struct {
 	Title   string

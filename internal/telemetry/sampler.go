@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+
+	"silcfm/internal/mem"
+	"silcfm/internal/stats"
+)
+
+// Sample is one epoch's worth of activity. Counter fields are DELTAS over
+// the epoch (they sum to the end-of-run totals); Cycle, AccessRate, the
+// queue depths and the gauges are instantaneous at the epoch boundary.
+// Field order is fixed by the struct, so JSONL output is byte-deterministic.
+type Sample struct {
+	Epoch      uint64 `json:"epoch"`
+	Cycle      uint64 `json:"cycle"`
+	SpanCycles uint64 `json:"span_cycles"`
+
+	LLCMisses  uint64  `json:"llc_misses"`
+	ServicedNM uint64  `json:"serviced_nm"`
+	ServicedFM uint64  `json:"serviced_fm"`
+	AccessRate float64 `json:"access_rate"` // NM share of this epoch's misses (Eq. 1 windowed)
+
+	DemandBytesNM    uint64 `json:"demand_bytes_nm"`
+	DemandBytesFM    uint64 `json:"demand_bytes_fm"`
+	MigrationBytesNM uint64 `json:"migration_bytes_nm"`
+	MigrationBytesFM uint64 `json:"migration_bytes_fm"`
+	MetadataBytesNM  uint64 `json:"metadata_bytes_nm"`
+	MetadataBytesFM  uint64 `json:"metadata_bytes_fm"`
+
+	SwapsIn         uint64 `json:"swaps_in"`
+	SwapsOut        uint64 `json:"swaps_out"`
+	Locks           uint64 `json:"locks"`
+	Unlocks         uint64 `json:"unlocks"`
+	Migrations      uint64 `json:"migrations"`
+	Bypassed        uint64 `json:"bypassed"`
+	PredictorHits   uint64 `json:"predictor_hits"`
+	PredictorMisses uint64 `json:"predictor_misses"`
+
+	RowHitsNM   uint64 `json:"row_hits_nm"`
+	RowMissesNM uint64 `json:"row_misses_nm"`
+	RowHitsFM   uint64 `json:"row_hits_fm"`
+	RowMissesFM uint64 `json:"row_misses_fm"`
+
+	QueueNM int `json:"queue_nm"`
+	QueueFM int `json:"queue_fm"`
+
+	Gauges []mem.Gauge `json:"gauges,omitempty"`
+}
+
+// sampler snapshots counters each epoch and streams deltas.
+type sampler struct {
+	w   io.Writer
+	csv bool
+	sys *mem.System
+	gp  mem.GaugeProvider
+
+	epoch     uint64
+	lastCycle uint64
+	prev      stats.Memory
+	prevRow   [2][2]uint64 // [level][hit/miss]
+
+	wroteHeader bool
+	gaugeNames  []string // CSV gauge column order, fixed at the first sample
+}
+
+func newSampler(w io.Writer, csv bool, sys *mem.System, gp mem.GaugeProvider) *sampler {
+	return &sampler{w: w, csv: csv, sys: sys, gp: gp}
+}
+
+// sample emits one epoch row at the current cycle.
+func (s *sampler) sample() error {
+	now := s.sys.Eng.Now()
+	cur := *s.sys.Stats
+	row := [2][2]uint64{
+		{s.sys.NM.Stats().RowHits, s.sys.NM.Stats().RowMisses},
+		{s.sys.FM.Stats().RowHits, s.sys.FM.Stats().RowMisses},
+	}
+
+	sm := Sample{
+		Epoch:      s.epoch,
+		Cycle:      now,
+		SpanCycles: now - s.lastCycle,
+
+		LLCMisses:  cur.LLCMisses - s.prev.LLCMisses,
+		ServicedNM: cur.ServicedNM - s.prev.ServicedNM,
+		ServicedFM: cur.ServicedFM - s.prev.ServicedFM,
+
+		DemandBytesNM:    cur.Bytes[stats.NM][stats.Demand] - s.prev.Bytes[stats.NM][stats.Demand],
+		DemandBytesFM:    cur.Bytes[stats.FM][stats.Demand] - s.prev.Bytes[stats.FM][stats.Demand],
+		MigrationBytesNM: cur.Bytes[stats.NM][stats.Migration] - s.prev.Bytes[stats.NM][stats.Migration],
+		MigrationBytesFM: cur.Bytes[stats.FM][stats.Migration] - s.prev.Bytes[stats.FM][stats.Migration],
+		MetadataBytesNM:  cur.Bytes[stats.NM][stats.Metadata] - s.prev.Bytes[stats.NM][stats.Metadata],
+		MetadataBytesFM:  cur.Bytes[stats.FM][stats.Metadata] - s.prev.Bytes[stats.FM][stats.Metadata],
+
+		SwapsIn:         cur.SwapsIn - s.prev.SwapsIn,
+		SwapsOut:        cur.SwapsOut - s.prev.SwapsOut,
+		Locks:           cur.Locks - s.prev.Locks,
+		Unlocks:         cur.Unlocks - s.prev.Unlocks,
+		Migrations:      cur.Migrations - s.prev.Migrations,
+		Bypassed:        cur.BypassedAccesses - s.prev.BypassedAccesses,
+		PredictorHits:   cur.PredictorHits - s.prev.PredictorHits,
+		PredictorMisses: cur.PredictorMisses - s.prev.PredictorMisses,
+
+		RowHitsNM:   row[0][0] - s.prevRow[0][0],
+		RowMissesNM: row[0][1] - s.prevRow[0][1],
+		RowHitsFM:   row[1][0] - s.prevRow[1][0],
+		RowMissesFM: row[1][1] - s.prevRow[1][1],
+
+		QueueNM: s.sys.NM.QueueDepth(),
+		QueueFM: s.sys.FM.QueueDepth(),
+	}
+	if sm.LLCMisses > 0 {
+		sm.AccessRate = float64(sm.ServicedNM) / float64(sm.LLCMisses)
+	}
+	if s.gp != nil {
+		sm.Gauges = s.gp.Gauges()
+	}
+
+	s.epoch++
+	s.lastCycle = now
+	s.prev = cur
+	s.prevRow = row
+
+	if s.csv {
+		return s.writeCSV(&sm)
+	}
+	enc, err := json.Marshal(&sm)
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = s.w.Write(enc)
+	return err
+}
+
+// finish emits the final partial epoch, if any cycles elapsed since the
+// last boundary, so the delta stream sums exactly to the run totals.
+func (s *sampler) finish() error {
+	if s.sys.Eng.Now() == s.lastCycle && s.epoch > 0 {
+		return nil
+	}
+	return s.sample()
+}
+
+// csvFixed lists the non-gauge CSV columns, matching Sample field order.
+var csvFixed = []string{
+	"epoch", "cycle", "span_cycles",
+	"llc_misses", "serviced_nm", "serviced_fm", "access_rate",
+	"demand_bytes_nm", "demand_bytes_fm",
+	"migration_bytes_nm", "migration_bytes_fm",
+	"metadata_bytes_nm", "metadata_bytes_fm",
+	"swaps_in", "swaps_out", "locks", "unlocks", "migrations", "bypassed",
+	"predictor_hits", "predictor_misses",
+	"row_hits_nm", "row_misses_nm", "row_hits_fm", "row_misses_fm",
+	"queue_nm", "queue_fm",
+}
+
+func (s *sampler) writeCSV(sm *Sample) error {
+	var b strings.Builder
+	if !s.wroteHeader {
+		for _, g := range sm.Gauges {
+			s.gaugeNames = append(s.gaugeNames, g.Name)
+		}
+		b.WriteString(strings.Join(csvFixed, ","))
+		for _, n := range s.gaugeNames {
+			b.WriteString(",g:")
+			b.WriteString(n)
+		}
+		b.WriteByte('\n')
+		s.wroteHeader = true
+	}
+	u := func(v uint64) { b.WriteString(strconv.FormatUint(v, 10)); b.WriteByte(',') }
+	u(sm.Epoch)
+	u(sm.Cycle)
+	u(sm.SpanCycles)
+	u(sm.LLCMisses)
+	u(sm.ServicedNM)
+	u(sm.ServicedFM)
+	b.WriteString(strconv.FormatFloat(sm.AccessRate, 'g', -1, 64))
+	b.WriteByte(',')
+	u(sm.DemandBytesNM)
+	u(sm.DemandBytesFM)
+	u(sm.MigrationBytesNM)
+	u(sm.MigrationBytesFM)
+	u(sm.MetadataBytesNM)
+	u(sm.MetadataBytesFM)
+	u(sm.SwapsIn)
+	u(sm.SwapsOut)
+	u(sm.Locks)
+	u(sm.Unlocks)
+	u(sm.Migrations)
+	u(sm.Bypassed)
+	u(sm.PredictorHits)
+	u(sm.PredictorMisses)
+	u(sm.RowHitsNM)
+	u(sm.RowMissesNM)
+	u(sm.RowHitsFM)
+	u(sm.RowMissesFM)
+	b.WriteString(strconv.Itoa(sm.QueueNM))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(sm.QueueFM))
+	// Gauge columns follow the header order; a scheme's gauge set is fixed,
+	// but guard against drift rather than misalign columns.
+	byName := make(map[string]float64, len(sm.Gauges))
+	for _, g := range sm.Gauges {
+		byName[g.Name] = g.Value
+	}
+	for _, n := range s.gaugeNames {
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatFloat(byName[n], 'g', -1, 64))
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(s.w, b.String())
+	return err
+}

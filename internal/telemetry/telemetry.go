@@ -1,0 +1,143 @@
+// Package telemetry is the observability layer of the simulator: an epoch
+// sampler that streams time-series metrics (stats.Memory counter deltas plus
+// scheme gauges) as JSONL or CSV, a movement-event tracer that records the
+// semantic mem.Observer stream as Chrome trace-event JSON viewable in
+// Perfetto, and periodic progress reporting for long runs.
+//
+// All instrumentation is read-only with respect to simulation state: the
+// sampler pump schedules zero-work events on the engine (which never change
+// the relative order of real events, see sim.Engine's (when, seq) ordering)
+// and the tracer only appends to a ring buffer. Enabling telemetry therefore
+// cannot change Cycles or any counter, and all output is byte-deterministic
+// for a fixed seed.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"silcfm/internal/mem"
+)
+
+// Config selects which telemetry outputs a run produces. A nil Config (or
+// one with no writers) disables everything at zero cost.
+type Config struct {
+	// MetricsW receives one epoch sample per line (JSONL by default).
+	MetricsW io.Writer
+	// MetricsCSV switches the sample stream to CSV with a header row.
+	MetricsCSV bool
+	// EpochCycles is the sampling period in simulated cycles (default
+	// 200_000: roughly 100 samples for the default single-workload run).
+	EpochCycles uint64
+	// TraceW receives the Chrome trace-event JSON at end of run.
+	TraceW io.Writer
+	// TraceLimit bounds the trace ring buffer (default 1<<18 events); the
+	// oldest events are dropped first and the drop count is reported in the
+	// trace's otherData.
+	TraceLimit int
+	// ProgressW receives a progress line each epoch.
+	ProgressW io.Writer
+}
+
+// DefaultEpochCycles is the sampling period used when Config.EpochCycles is
+// zero.
+const DefaultEpochCycles = 200_000
+
+// DefaultTraceLimit is the trace ring bound used when Config.TraceLimit is
+// zero.
+const DefaultTraceLimit = 1 << 18
+
+// T is one run's attached telemetry. All methods are nil-safe so callers
+// can thread a nil *T through unconditionally.
+type T struct {
+	cfg     Config
+	sys     *mem.System
+	sampler *sampler
+	tracer  *Tracer
+	// progress reports retired and target instructions across cores.
+	progress func() (done, total uint64)
+	err      error
+}
+
+// Attach wires telemetry onto a system before the simulation starts. ctl is
+// the raw (unwrapped) controller; if it implements mem.GaugeProvider its
+// gauges ride along in every sample. Returns nil when cfg requests nothing.
+func Attach(cfg *Config, sys *mem.System, ctl mem.Controller) *T {
+	if cfg == nil || (cfg.MetricsW == nil && cfg.TraceW == nil && cfg.ProgressW == nil) {
+		return nil
+	}
+	t := &T{cfg: *cfg, sys: sys}
+	if t.cfg.EpochCycles == 0 {
+		t.cfg.EpochCycles = DefaultEpochCycles
+	}
+	if t.cfg.TraceLimit <= 0 {
+		t.cfg.TraceLimit = DefaultTraceLimit
+	}
+	if t.cfg.MetricsW != nil {
+		gp, _ := ctl.(mem.GaugeProvider)
+		t.sampler = newSampler(t.cfg.MetricsW, t.cfg.MetricsCSV, sys, gp)
+	}
+	if t.cfg.TraceW != nil {
+		t.tracer = NewTracer(sys.Eng, t.cfg.TraceLimit)
+		sys.AttachObserver(t.tracer)
+	}
+	return t
+}
+
+// SetProgress installs the instruction-progress probe used by ProgressW.
+func (t *T) SetProgress(fn func() (done, total uint64)) {
+	if t != nil {
+		t.progress = fn
+	}
+}
+
+// Start schedules the epoch pump. Call after the cores are wired (so the
+// progress probe is live) and before the engine runs.
+func (t *T) Start() {
+	if t == nil || (t.sampler == nil && t.cfg.ProgressW == nil) {
+		return
+	}
+	var pump func()
+	pump = func() {
+		t.tick()
+		t.sys.Eng.After(t.cfg.EpochCycles, pump)
+	}
+	t.sys.Eng.After(t.cfg.EpochCycles, pump)
+}
+
+// tick emits one epoch sample and/or progress line at the current cycle.
+func (t *T) tick() {
+	if t.sampler != nil && t.err == nil {
+		t.err = t.sampler.sample()
+	}
+	if t.cfg.ProgressW != nil {
+		now := t.sys.Eng.Now()
+		if t.progress != nil {
+			done, total := t.progress()
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(done) / float64(total)
+			}
+			fmt.Fprintf(t.cfg.ProgressW, "progress: cycle=%d instr=%d/%d (%.1f%%)\n",
+				now, done, total, pct)
+		} else {
+			fmt.Fprintf(t.cfg.ProgressW, "progress: cycle=%d\n", now)
+		}
+	}
+}
+
+// Finish flushes the final partial epoch (so per-epoch deltas sum exactly to
+// the end-of-run totals) and writes the trace JSON. Call once, after the
+// engine stops and before results are read.
+func (t *T) Finish() error {
+	if t == nil {
+		return nil
+	}
+	if t.sampler != nil && t.err == nil {
+		t.err = t.sampler.finish()
+	}
+	if t.tracer != nil && t.err == nil {
+		t.err = t.tracer.Write(t.cfg.TraceW)
+	}
+	return t.err
+}

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"silcfm/internal/mem"
+	"silcfm/internal/sim"
+	"silcfm/internal/stats"
+)
+
+// event kinds, also the Perfetto track (tid) assignment.
+const (
+	evDemand = iota
+	evCapture
+	evDeliver
+	evRelocate
+	evSwap
+	evLock
+	evUnlock
+	numEvKinds
+)
+
+var evNames = [numEvKinds]string{
+	"demand", "capture", "deliver", "relocate", "swap", "lock", "unlock",
+}
+
+// event is one recorded movement event, kept compact: the ring can hold
+// hundreds of thousands of these.
+type event struct {
+	kind  uint8
+	write bool // demand: write access; lock: home lock
+	cycle uint64
+	pa    uint64       // demand only
+	a, b  mem.Location // a = loc/src/frame, b = dst
+}
+
+// Tracer records the semantic movement-event stream (mem.Observer plus the
+// SchemeObserver extension) into a bounded ring buffer and serializes it as
+// Chrome trace-event JSON, viewable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Timestamps are simulated cycles presented as
+// microseconds (Perfetto's native unit); one trace "thread" per event kind
+// keeps the tracks separable.
+type Tracer struct {
+	eng     *sim.Engine
+	ring    []event
+	next    int    // ring write position
+	n       int    // events currently held (<= len(ring))
+	total   uint64 // events ever observed
+	dropped uint64 // events evicted from the ring
+}
+
+// NewTracer builds a tracer holding at most limit events (oldest dropped).
+func NewTracer(eng *sim.Engine, limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultTraceLimit
+	}
+	return &Tracer{eng: eng, ring: make([]event, 0, limit)}
+}
+
+func (t *Tracer) record(e event) {
+	e.cycle = t.eng.Now()
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+		t.n++
+		return
+	}
+	t.ring[t.next] = e
+	t.next = (t.next + 1) % len(t.ring)
+	t.dropped++
+}
+
+// Demand implements mem.Observer.
+func (t *Tracer) Demand(pa uint64, loc mem.Location, write bool) {
+	t.record(event{kind: evDemand, write: write, pa: pa, a: loc})
+}
+
+// Capture implements mem.Observer.
+func (t *Tracer) Capture(loc mem.Location) {
+	t.record(event{kind: evCapture, a: loc})
+}
+
+// Deliver implements mem.Observer.
+func (t *Tracer) Deliver(src, dst mem.Location) {
+	t.record(event{kind: evDeliver, a: src, b: dst})
+}
+
+// Relocate implements mem.Observer.
+func (t *Tracer) Relocate(src, dst mem.Location) {
+	t.record(event{kind: evRelocate, a: src, b: dst})
+}
+
+// Swap implements mem.SchemeObserver.
+func (t *Tracer) Swap(a, b mem.Location) {
+	t.record(event{kind: evSwap, a: a, b: b})
+}
+
+// Lock implements mem.SchemeObserver.
+func (t *Tracer) Lock(frame uint64, home bool) {
+	t.record(event{kind: evLock, write: home, a: mem.Location{DevAddr: frame}})
+}
+
+// Unlock implements mem.SchemeObserver.
+func (t *Tracer) Unlock(frame uint64) {
+	t.record(event{kind: evUnlock, a: mem.Location{DevAddr: frame}})
+}
+
+// Events reports (recorded, dropped) counts.
+func (t *Tracer) Events() (total, dropped uint64) { return t.total, t.dropped }
+
+func locStr(l mem.Location) string {
+	lv := "NM"
+	if l.Level == stats.FM {
+		lv = "FM"
+	}
+	return fmt.Sprintf("%s:0x%x", lv, l.DevAddr)
+}
+
+// traceEvent is the Chrome trace-event JSON shape (instant events).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// argsOf renders an event's payload. Map keys per kind are fixed, and
+// encoding/json sorts map keys, so output stays byte-deterministic.
+func argsOf(e *event) map[string]any {
+	switch e.kind {
+	case evDemand:
+		op := "read"
+		if e.write {
+			op = "write"
+		}
+		return map[string]any{"pa": fmt.Sprintf("0x%x", e.pa), "loc": locStr(e.a), "op": op}
+	case evCapture:
+		return map[string]any{"loc": locStr(e.a)}
+	case evDeliver, evRelocate:
+		return map[string]any{"src": locStr(e.a), "dst": locStr(e.b)}
+	case evSwap:
+		return map[string]any{"a": locStr(e.a), "b": locStr(e.b)}
+	case evLock:
+		kind := "interleaved"
+		if e.write {
+			kind = "home"
+		}
+		return map[string]any{"frame": e.a.DevAddr, "kind": kind}
+	default: // evUnlock
+		return map[string]any{"frame": e.a.DevAddr}
+	}
+}
+
+// Write serializes the ring (oldest first) as a Chrome trace JSON object.
+func (t *Tracer) Write(w io.Writer) error {
+	bw := &errWriter{w: w}
+	io.WriteString(bw, `{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	emit := func(ev *traceEvent) {
+		if !first {
+			io.WriteString(bw, ",\n")
+		} else {
+			io.WriteString(bw, "\n")
+			first = false
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			bw.err = err
+			return
+		}
+		bw.Write(b)
+	}
+	// Name the per-kind tracks.
+	for k := 0; k < numEvKinds; k++ {
+		emit(&traceEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: k,
+			Args: map[string]any{"name": evNames[k]}})
+	}
+	// Ring in arrival order: [next, len) then [0, next) once wrapped.
+	for i := 0; i < t.n; i++ {
+		e := &t.ring[(t.next+i)%len(t.ring)]
+		emit(&traceEvent{
+			Name: evNames[e.kind], Ph: "i", Ts: e.cycle, Pid: 0, Tid: int(e.kind),
+			S: "t", Args: argsOf(e),
+		})
+	}
+	fmt.Fprintf(bw, "\n],\"otherData\":{\"events\":%d,\"dropped\":%d}}\n", t.total, t.dropped)
+	return bw.err
+}
+
+// errWriter sticks at the first write error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}

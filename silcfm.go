@@ -20,9 +20,13 @@ package silcfm
 
 import (
 	"fmt"
+	"io"
+	"os"
+	"strings"
 
 	"silcfm/internal/config"
 	"silcfm/internal/harness"
+	"silcfm/internal/telemetry"
 	"silcfm/internal/workload"
 )
 
@@ -127,6 +131,24 @@ type Options struct {
 	// returns an error on the first violation. Costs simulation speed.
 	ShadowCheck bool
 
+	// MetricsOut streams epoch time-series metrics to a file: one sample
+	// per MetricsEpoch simulated cycles holding the stats counter deltas
+	// plus scheme gauges. JSONL by default; a path ending in ".csv" (or
+	// MetricsCSV) switches to CSV with a header row.
+	MetricsOut   string
+	MetricsCSV   bool
+	MetricsEpoch uint64 // sampling period in cycles (default 200_000)
+
+	// TraceOut writes a Chrome trace-event JSON of semantic movement
+	// events (demand/capture/deliver/relocate/swap/lock), viewable in
+	// Perfetto. TraceLimit bounds the in-memory event ring (default 1<<18;
+	// oldest events drop first).
+	TraceOut   string
+	TraceLimit int
+
+	// ProgressOut, when non-nil, receives a progress line per epoch.
+	ProgressOut io.Writer
+
 	Seed int64
 }
 
@@ -153,6 +175,19 @@ type Report struct {
 	SwapsIn, SwapsOut uint64
 	BypassedAccesses  uint64
 	PredictorAccuracy float64
+
+	// DemandLatency breaks demand-completion latency down by service path
+	// (NM hit, FM, swap critical path, bypass, predictor mispredict);
+	// empty paths are omitted.
+	DemandLatency []PathLatency
+}
+
+// PathLatency summarizes one service path's demand latency distribution.
+type PathLatency struct {
+	Path          string
+	Count         uint64
+	Mean          float64
+	P50, P95, P99 uint64 // cycles (bucket upper bounds)
 }
 
 // SpeedupOver returns base.Cycles / r.Cycles, the paper's figure of merit.
@@ -240,7 +275,16 @@ func Run(o Options) (*Report, error) {
 	if o.FootprintScaleDen > 1 {
 		spec.FootScaleNum, spec.FootScaleDen = 1, o.FootprintScaleDen
 	}
+
+	tcfg, cleanup, err := o.telemetryConfig()
+	if err != nil {
+		return nil, err
+	}
+	spec.Telemetry = tcfg
 	res, err := harness.Run(spec)
+	if cerr := cleanup(); err == nil && cerr != nil {
+		err = fmt.Errorf("silcfm: telemetry output: %w", cerr)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -251,6 +295,57 @@ func Run(o Options) (*Report, error) {
 		return nil, fmt.Errorf("silcfm: shadow integrity check failed: %w", res.ShadowErr)
 	}
 	return reportOf(res), nil
+}
+
+// telemetryConfig opens the requested telemetry outputs. cleanup closes
+// them and reports the first close error (flush failures matter for files).
+func (o Options) telemetryConfig() (*telemetry.Config, func() error, error) {
+	noop := func() error { return nil }
+	if o.MetricsOut == "" && o.TraceOut == "" && o.ProgressOut == nil {
+		return nil, noop, nil
+	}
+	cfg := &telemetry.Config{
+		MetricsCSV:  o.MetricsCSV || strings.HasSuffix(o.MetricsOut, ".csv"),
+		EpochCycles: o.MetricsEpoch,
+		TraceLimit:  o.TraceLimit,
+		ProgressW:   o.ProgressOut,
+	}
+	var files []*os.File
+	open := func(path string) (*os.File, error) {
+		f, err := os.Create(path)
+		if err != nil {
+			for _, g := range files {
+				g.Close()
+			}
+			return nil, fmt.Errorf("silcfm: %w", err)
+		}
+		files = append(files, f)
+		return f, nil
+	}
+	if o.MetricsOut != "" {
+		f, err := open(o.MetricsOut)
+		if err != nil {
+			return nil, noop, err
+		}
+		cfg.MetricsW = f
+	}
+	if o.TraceOut != "" {
+		f, err := open(o.TraceOut)
+		if err != nil {
+			return nil, noop, err
+		}
+		cfg.TraceW = f
+	}
+	cleanup := func() error {
+		var first error
+		for _, f := range files {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return cfg, cleanup, nil
 }
 
 func reportOf(res *harness.Result) *Report {
@@ -273,5 +368,20 @@ func reportOf(res *harness.Result) *Report {
 		SwapsOut:          res.Mem.SwapsOut,
 		BypassedAccesses:  res.Mem.BypassedAccesses,
 		PredictorAccuracy: res.Mem.PredictorAccuracy(),
+		DemandLatency:     pathLatencies(res),
 	}
+}
+
+func pathLatencies(res *harness.Result) []PathLatency {
+	if res.Lat == nil {
+		return nil
+	}
+	var out []PathLatency
+	for _, s := range res.Lat.Summaries() {
+		out = append(out, PathLatency{
+			Path: s.Path, Count: s.Count, Mean: s.Mean,
+			P50: s.P50, P95: s.P95, P99: s.P99,
+		})
+	}
+	return out
 }
