@@ -10,6 +10,13 @@ if [ -n "$fmt" ]; then
 	exit 1
 fi
 
+# Fast-fail stage: the observability packages (stats counters, memory-system
+# attribution, telemetry writers) gate everything downstream and their tests
+# are quick — vet and race-test them first so broken instrumentation fails in
+# seconds, not after the full sweep-driven suite.
+go vet ./internal/stats ./internal/mem ./internal/telemetry
+go test -race ./internal/stats ./internal/mem ./internal/telemetry
+
 go vet ./...
 go build ./...
 go test -race ./...

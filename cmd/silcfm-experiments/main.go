@@ -38,6 +38,7 @@ func main() {
 		metricsEpoch = flag.Uint64("metrics-epoch", 0, "metrics sampling period in cycles (0 = default 200000)")
 		traceDir     = flag.String("trace-out", "", "write per-run Perfetto movement traces into this directory as <label>_<workload>.json")
 		traceLimit   = flag.Int("trace-limit", 0, "movement-trace ring buffer size in events (0 = default 262144)")
+		profileDir   = flag.String("profile-out", "", "write per-run hotness profiles into this directory as <label>_<workload>.profile.jsonl")
 		progress     = flag.Bool("progress", false, "print one line per completed run to stderr")
 		shadowOn     = flag.Bool("shadow", false, "run the continuous shadow-data integrity checker on every run (slower)")
 	)
@@ -59,8 +60,8 @@ func main() {
 	if *progress {
 		cfg.Progress = os.Stderr
 	}
-	if *metricsDir != "" || *traceDir != "" {
-		for _, dir := range []string{*metricsDir, *traceDir} {
+	if *metricsDir != "" || *traceDir != "" || *profileDir != "" {
+		for _, dir := range []string{*metricsDir, *traceDir, *profileDir} {
 			if dir == "" {
 				continue
 			}
@@ -90,6 +91,19 @@ func main() {
 					return nil
 				}
 				tc.TraceW = f
+			}
+			if *profileDir != "" {
+				f, err := os.Create(filepath.Join(*profileDir, name+".profile.jsonl"))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "silcfm-experiments:", err)
+					for _, w := range []any{tc.MetricsW, tc.TraceW} {
+						if c, ok := w.(*os.File); ok {
+							c.Close()
+						}
+					}
+					return nil
+				}
+				tc.ProfileW = f
 			}
 			return tc
 		}

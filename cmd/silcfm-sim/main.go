@@ -42,6 +42,8 @@ func main() {
 		traceOut     = flag.String("trace-out", "", "write a Chrome/Perfetto trace of movement events to this file")
 		traceLimit   = flag.Int("trace-limit", 0, "movement-trace ring buffer size in events (0 = default 262144)")
 		progress     = flag.Bool("progress", false, "print a progress line per metrics epoch to stderr")
+		profileOut   = flag.String("profile-out", "", "write the per-block/per-PC hotness profile to this file (JSONL)")
+		profileTopK  = flag.Int("profile-topk", 0, "print the K hottest blocks and PCs after the run (0 = off)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulator process to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile of the simulator process to this file")
@@ -106,6 +108,8 @@ func main() {
 		MetricsEpoch:      *metricsEpoch,
 		TraceOut:          *traceOut,
 		TraceLimit:        *traceLimit,
+		ProfileOut:        *profileOut,
+		ProfileTopK:       *profileTopK,
 		Seed:              *seed,
 	}
 	if *progress {
@@ -138,6 +142,7 @@ func main() {
 		// telemetry clobber the main run's output files.
 		b.ShadowCheck = false
 		b.MetricsOut, b.TraceOut, b.ProgressOut = "", "", nil
+		b.ProfileOut, b.ProfileTopK = "", 0
 		base, err := silcfm.Run(b)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "silcfm-sim: baseline:", err)
@@ -172,6 +177,14 @@ func printReport(r *silcfm.Report) {
 	for _, p := range r.DemandLatency {
 		fmt.Printf("latency %-11s n=%-9d mean=%-8.1f p50=%-6d p95=%-6d p99=%d\n",
 			p.Path+":", p.Count, p.Mean, p.P50, p.P95, p.P99)
+	}
+	for _, s := range r.Attribution {
+		fmt.Printf("spans   %-11s queue=%-10d service=%-10d meta=%-9d swap-ser=%-8d mispred=%-8d other=%d\n",
+			s.Path+":", s.Queue, s.Service, s.MetaFetch, s.SwapSerial, s.Mispredict, s.Other)
+	}
+	if r.TopOffenders != "" {
+		fmt.Println()
+		fmt.Print(r.TopOffenders)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"silcfm/internal/memunits"
 	"silcfm/internal/workload"
@@ -32,6 +33,7 @@ func main() {
 		metricsOut   = flag.String("metrics-out", "", "with -gen: stream windowed workload-characterization JSONL to this file")
 		metricsEpoch = flag.Uint64("metrics-epoch", 100_000, "references per characterization window")
 		progress     = flag.Bool("progress", false, "with -gen: print a progress line per window to stderr")
+		topK         = flag.Int("topk", 0, "with -inspect: also list the K hottest 2 KB pages and PCs")
 	)
 	flag.Parse()
 
@@ -42,7 +44,7 @@ func main() {
 			os.Exit(1)
 		}
 	case *inspect != "":
-		if err := inspectFile(*inspect); err != nil {
+		if err := inspectFile(*inspect, *topK); err != nil {
 			fmt.Fprintln(os.Stderr, "silcfm-trace:", err)
 			os.Exit(1)
 		}
@@ -200,7 +202,7 @@ func (m *windowMetrics) flush() error {
 	return nil
 }
 
-func inspectFile(path string) error {
+func inspectFile(path string, topK int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -218,7 +220,53 @@ func inspectFile(path string) error {
 		p.Pages, float64(p.FootprintBytes())/(1<<20), p.Subblocks)
 	fmt.Printf("spatial:       %.1f touched subblocks per touched page\n", p.SubblocksPerPage)
 	fmt.Printf("hot-set skew:  %.1f%% of references hit the 64 hottest pages\n", 100*p.Top64Share)
+	if topK > 0 {
+		fmt.Println()
+		printTopK(rp, topK)
+	}
 	return nil
+}
+
+// printTopK lists the trace's hottest 2 KB pages and PCs by static
+// reference count — the workload-side view of the simulator's dynamic
+// hotness profile (silcfm-sim -profile-topk).
+func printTopK(rp *workload.Replay, k int) {
+	type kc struct {
+		key, count uint64
+	}
+	pages := map[uint64]uint64{}
+	pcs := map[uint64]uint64{}
+	g := rp.CloneAt(0, 1)
+	var r workload.Ref
+	for i := 0; i < rp.Len(); i++ {
+		g.Next(&r)
+		pages[memunits.BlockOf(r.VAddr)]++
+		pcs[r.PC]++
+	}
+	top := func(m map[uint64]uint64) []kc {
+		out := make([]kc, 0, len(m))
+		for key, c := range m {
+			out = append(out, kc{key, c})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].count != out[j].count {
+				return out[i].count > out[j].count
+			}
+			return out[i].key < out[j].key
+		})
+		if len(out) > k {
+			out = out[:k]
+		}
+		return out
+	}
+	fmt.Printf("top %d pages (of %d):\n", k, len(pages))
+	for _, e := range top(pages) {
+		fmt.Printf("  page %-10d refs=%d\n", e.key, e.count)
+	}
+	fmt.Printf("top %d PCs (of %d):\n", k, len(pcs))
+	for _, e := range top(pcs) {
+		fmt.Printf("  pc 0x%-10x refs=%d\n", e.key, e.count)
+	}
 }
 
 // characterizeAll profiles every Table III workload over n references.

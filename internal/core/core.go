@@ -92,6 +92,10 @@ func New(sys *mem.System, cfg config.SILCConfig) *Controller {
 // accounting and tests).
 func (c *Controller) MetaDeviceStats() *dram.Stats { return c.meta.Stats() }
 
+// MetaDevice exposes the dedicated metadata channel itself, so the
+// conservation audit can fold its traffic into the NM level.
+func (c *Controller) MetaDevice() *dram.Device { return c.meta }
+
 // Name implements mem.Controller.
 func (c *Controller) Name() string { return "silc" }
 
@@ -157,7 +161,14 @@ func (c *Controller) Handle(a *mem.Access) {
 		// correct prediction, the way entries are checked in series before
 		// the data access; the predictor's saved time is this NM access
 		// latency). The metadata line transfer itself rides the dedicated
-		// channel off the demand queues.
+		// channel off the demand queues. The stall is attributed as a
+		// mispredict-retry penalty when a predictor miss caused it, else as
+		// a plain metadata fetch (predictor disabled).
+		span := stats.SpanMetaFetch
+		if mispred {
+			span = stats.SpanMispredict
+		}
+		a.AddSpan(span, c.metaLatency)
 		c.readMeta(b, 64)
 		c.sys.Eng.After(c.metaLatency, func() { c.dispatch(a, b, idx, mispred) })
 		return
@@ -388,7 +399,7 @@ func (c *Controller) maybeLockRemap(f uint64) {
 	fr.locked = true
 	fr.lockHome = false
 	c.sys.Stats.Locks++
-	c.sys.NoteLock(f, false)
+	c.sys.NoteLock(f, fr.remap, false)
 	c.writeMetaUpdate(c.fs.setOf(f))
 }
 
@@ -415,7 +426,7 @@ func (c *Controller) maybeLockHome(b uint64) {
 	fr.locked = true
 	fr.lockHome = true
 	c.sys.Stats.Locks++
-	c.sys.NoteLock(b, true)
+	c.sys.NoteLock(b, b, true)
 	c.writeMetaUpdate(c.fs.setOf(b))
 }
 
@@ -441,10 +452,14 @@ func (c *Controller) ageAndUnlock() {
 		// threshold before it rejoins swapping, avoiding lock/unlock churn
 		// at the boundary.
 		if hot < c.cfg.HotThreshold/2 {
+			blk := fr.remap
+			if fr.lockHome {
+				blk = uint64(i)
+			}
 			fr.locked = false
 			fr.lockHome = false
 			c.sys.Stats.Unlocks++
-			c.sys.NoteUnlock(uint64(i))
+			c.sys.NoteUnlock(uint64(i), blk)
 		}
 	}
 }

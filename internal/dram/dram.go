@@ -29,18 +29,28 @@ type Request struct {
 	Background bool
 	// Done is invoked at completion time. May be nil (typical for writes).
 	Done func()
+	// Trace, when non-nil, receives the request's latency decomposition at
+	// completion time, immediately before Done: service is the minimal
+	// device-service time for the observed row outcome (precharge/activate
+	// + column + burst) and queue is everything else the request waited on
+	// (scheduling window, bank readiness, bus, refresh). queue + service
+	// always equals completion - arrival exactly.
+	Trace func(queue, service uint64)
 }
 
 // Stats holds per-device counters.
 type Stats struct {
 	Reads, Writes           uint64
 	BytesRead, BytesWritten uint64
-	RowHits, RowMisses      uint64 // row-buffer outcome per access
-	Activations             uint64
-	Refreshes               uint64 // periodic all-bank refreshes applied
-	BusBusyCycles           uint64 // sum of burst occupancy over channels
-	DynamicEnergyPJ         float64
-	ReadLatency             LatencySummary
+	// BytesMeta counts metadata carried in extended bursts (Request.
+	// MetaBytes); kept apart so BytesRead/BytesWritten stay payload-only.
+	BytesMeta          uint64
+	RowHits, RowMisses uint64 // row-buffer outcome per access
+	Activations        uint64
+	Refreshes          uint64 // periodic all-bank refreshes applied
+	BusBusyCycles      uint64 // sum of burst occupancy over channels
+	DynamicEnergyPJ    float64
+	ReadLatency        LatencySummary
 }
 
 // LatencySummary accumulates request latencies without storing samples.
@@ -266,6 +276,9 @@ func (d *Device) issue(ch int, c *channel, o op) {
 		start = now
 	}
 	var colAt sim.Cycle
+	// rowPenalty is the row-outcome component of the request's minimal
+	// service time; tRAS/bus/refresh waits count as queueing instead.
+	var rowPenalty sim.Cycle
 	switch {
 	case b.openRow >= 0 && uint64(b.openRow) == o.row:
 		// Row hit: column command only.
@@ -276,6 +289,7 @@ func (d *Device) issue(ch int, c *channel, o op) {
 		d.stats.RowMisses++
 		d.stats.Activations++
 		d.stats.DynamicEnergyPJ += d.Cfg.ActivateEnergyPJ
+		rowPenalty = d.tRCD
 		colAt = start + d.tRCD
 		b.actAt = start
 		b.openRow = int64(o.row)
@@ -284,6 +298,7 @@ func (d *Device) issue(ch int, c *channel, o op) {
 		d.stats.RowMisses++
 		d.stats.Activations++
 		d.stats.DynamicEnergyPJ += d.Cfg.ActivateEnergyPJ
+		rowPenalty = d.tRP + d.tRCD
 		preAt := start
 		if min := b.actAt + d.tRAS; preAt < min {
 			preAt = min
@@ -324,6 +339,7 @@ func (d *Device) issue(ch int, c *channel, o op) {
 
 	done := dataAt + burst
 	bits := float64((o.req.Bytes + o.req.MetaBytes) * 8)
+	d.stats.BytesMeta += o.req.MetaBytes
 	if o.req.Write {
 		d.stats.Writes++
 		d.stats.BytesWritten += o.req.Bytes
@@ -334,8 +350,16 @@ func (d *Device) issue(ch int, c *channel, o op) {
 		d.stats.DynamicEnergyPJ += bits * d.Cfg.ReadEnergyPJPerBit
 	}
 
+	// Minimal service time for the observed row outcome; reads add the CAS
+	// latency, writes move data at the column command.
+	service := rowPenalty + burst
+	if !o.req.Write {
+		service += d.tCAS
+	}
+
 	c.inflight++
 	cb := o.req.Done
+	tr := o.req.Trace
 	arrival := o.arrival
 	isRead := !o.req.Write
 	d.eng.At(done, func() {
@@ -343,11 +367,34 @@ func (d *Device) issue(ch int, c *channel, o op) {
 		if isRead {
 			d.stats.ReadLatency.Add(done - arrival)
 		}
+		if tr != nil {
+			// done >= arrival + service by construction (start >= arrival
+			// and every data-path delay only pushes completion later), so
+			// the queue component never underflows.
+			tr(uint64(done-arrival-service), uint64(service))
+		}
 		if cb != nil {
 			cb()
 		}
 		d.kick(ch)
 	})
+}
+
+// PendingBytes reports bytes (including extended-burst metadata) submitted
+// but not yet issued. The conservation audit uses it to bridge the two
+// byte-accounting instants: mem-side counters tick at submit, device-side
+// counters at issue.
+func (d *Device) PendingBytes() uint64 {
+	var n uint64
+	for i := range d.chans {
+		for _, o := range d.chans[i].readQ {
+			n += o.req.Bytes + o.req.MetaBytes
+		}
+		for _, o := range d.chans[i].writeQ {
+			n += o.req.Bytes + o.req.MetaBytes
+		}
+	}
+	return n
 }
 
 // QueueDepth reports total queued (not yet issued) requests, for tests.

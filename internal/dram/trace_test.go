@@ -1,0 +1,119 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+
+	"silcfm/internal/config"
+	"silcfm/internal/sim"
+)
+
+func TestTraceDecomposesUnloadedRead(t *testing.T) {
+	eng, d := newFM(t)
+	var q, s uint64
+	var done sim.Cycle
+	d.Submit(Request{Addr: 0, Trace: func(queue, service uint64) { q, s = queue, service }, Done: func() { done = eng.Now() }})
+	eng.Run()
+	// Idle device, closed bank: no queueing, service is the full unloaded
+	// latency (tRCD + tCAS + burst).
+	if q != 0 {
+		t.Errorf("unloaded read queued %d cycles, want 0", q)
+	}
+	if want := uint64(d.UnloadedReadLatency()); s != want {
+		t.Errorf("service = %d, want %d", s, want)
+	}
+	if q+s != uint64(done) {
+		t.Errorf("queue %d + service %d != end-to-end %d", q, s, done)
+	}
+}
+
+func TestTraceQueueAccountsContention(t *testing.T) {
+	eng, d := newFM(t)
+	// Two reads to the same channel+bank+row submitted together: the second
+	// waits behind the first, and that wait must land in queue.
+	stride := uint64(d.Cfg.Channels) * d.banksPerChan * 64 // same bank, next row block
+	type rec struct{ q, s, total uint64 }
+	var out []rec
+	for i := 0; i < 2; i++ {
+		arrival := eng.Now()
+		r := rec{}
+		d.Submit(Request{
+			Addr:  uint64(i) * stride,
+			Trace: func(queue, service uint64) { r.q, r.s = queue, service },
+			Done: func() {
+				r.total = uint64(eng.Now()) - uint64(arrival)
+				out = append(out, r)
+			},
+		})
+	}
+	eng.Run()
+	if len(out) != 2 {
+		t.Fatalf("got %d completions, want 2", len(out))
+	}
+	for i, r := range out {
+		if r.q+r.s != r.total {
+			t.Errorf("read %d: queue %d + service %d != total %d", i, r.q, r.s, r.total)
+		}
+	}
+	if out[1].q == 0 {
+		t.Error("second same-bank read reports no queueing")
+	}
+}
+
+// Property: queue + service == completion - arrival for every traced
+// request under a random read/write mix.
+func TestTraceTelescopesUnderLoad(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(config.DDR3(64<<20), eng)
+	rng := rand.New(rand.NewSource(11))
+	bad := 0
+	for i := 0; i < 800; i++ {
+		arrival := eng.Now()
+		var q, s uint64
+		traced := false
+		d.Submit(Request{
+			Addr:  uint64(rng.Intn(1<<24)) &^ 63,
+			Write: rng.Intn(4) == 0,
+			Trace: func(queue, service uint64) { q, s, traced = queue, service, true },
+			Done: func() {
+				if !traced || q+s != uint64(eng.Now())-uint64(arrival) {
+					bad++
+				}
+			},
+		})
+		if rng.Intn(8) == 0 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	if bad != 0 {
+		t.Fatalf("%d traced requests did not telescope", bad)
+	}
+}
+
+func TestPendingBytesBridgesAccounting(t *testing.T) {
+	eng, d := newFM(t)
+	// Flood one channel so requests sit queued: submitted bytes must equal
+	// issued bytes + pending bytes at every instant.
+	total := uint64(0)
+	for i := 0; i < 200; i++ {
+		n := uint64(64)
+		var meta uint64
+		if i%3 == 0 {
+			meta = 16
+		}
+		d.Submit(Request{Addr: 0, Bytes: n, MetaBytes: meta, Write: i%2 == 0})
+		total += n + meta
+		issued := d.stats.BytesRead + d.stats.BytesWritten + d.stats.BytesMeta
+		if got := issued + d.PendingBytes(); got != total {
+			t.Fatalf("after submit %d: issued %d + pending %d != submitted %d", i, issued, d.PendingBytes(), total)
+		}
+	}
+	eng.Run()
+	if d.PendingBytes() != 0 {
+		t.Fatalf("pending bytes after drain: %d", d.PendingBytes())
+	}
+	if got := d.stats.BytesRead + d.stats.BytesWritten + d.stats.BytesMeta; got != total {
+		t.Fatalf("issued bytes %d != submitted %d", got, total)
+	}
+}

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"testing"
+
+	"silcfm/internal/config"
+	"silcfm/internal/stats"
+)
+
+// TestConservationAcrossSchemes runs every scheme on a small machine and
+// checks that the end-of-run counter-conservation audit holds, and that the
+// latency attribution reconciles exactly with the per-path latency
+// histograms: same sample count and same cycle sum for every path.
+func TestConservationAcrossSchemes(t *testing.T) {
+	schemes := []config.SchemeName{
+		config.SchemeBaseline, config.SchemeRandom, config.SchemeHMA,
+		config.SchemeCAMEO, config.SchemeCAMEOP, config.SchemePoM,
+		config.SchemeSILCFM,
+	}
+	for _, s := range schemes {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			m := config.Small()
+			m.Scheme = s
+			r, err := Run(Spec{
+				Machine:      m,
+				Workload:     "milc",
+				InstrPerCore: 30_000,
+				FootScaleNum: 1,
+				FootScaleDen: 16,
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if r.ConservationErr != nil {
+				t.Errorf("conservation: %v", r.ConservationErr)
+			}
+			if r.AuditErr != nil {
+				t.Errorf("audit: %v", r.AuditErr)
+			}
+			for p := stats.DemandPath(0); p < stats.NumDemandPaths; p++ {
+				h := &r.Lat.Hist[p]
+				if got := r.Attr.Count[p]; got != h.N {
+					t.Errorf("path %s: attribution count %d, latency samples %d", p, got, h.N)
+				}
+				if got := r.Attr.PathTotal(p); got != h.Sum {
+					t.Errorf("path %s: span sum %d, latency sum %d", p, got, h.Sum)
+				}
+			}
+			if r.Mem.LLCMisses == 0 {
+				t.Fatal("no misses simulated; test is vacuous")
+			}
+		})
+	}
+}

@@ -198,6 +198,10 @@ func Sweep(cfg ExpConfig, variants []Variant) (*SweepResult, error) {
 				firstErr = fmt.Errorf("%s/%s: %w", j.label, j.wl, r.ShadowErr)
 				return
 			}
+			if r.ConservationErr != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s/%s: %w", j.label, j.wl, r.ConservationErr)
+				return
+			}
 			if j.label == "" {
 				res.Baseline[j.wl] = r
 			} else {
@@ -427,7 +431,7 @@ func closeTelemetry(tcfg *telemetry.Config) {
 	if tcfg == nil {
 		return
 	}
-	for _, w := range []io.Writer{tcfg.MetricsW, tcfg.TraceW, tcfg.ProgressW} {
+	for _, w := range []io.Writer{tcfg.MetricsW, tcfg.TraceW, tcfg.ProgressW, tcfg.ProfileW} {
 		if c, ok := w.(io.Closer); ok {
 			c.Close()
 		}

@@ -12,6 +12,7 @@ import (
 	"silcfm/internal/config"
 	"silcfm/internal/core"
 	"silcfm/internal/cpu"
+	"silcfm/internal/dram"
 	"silcfm/internal/energy"
 	"silcfm/internal/mem"
 	"silcfm/internal/schemes/cameo"
@@ -70,6 +71,14 @@ type Result struct {
 	// Lat holds the per-path demand-completion latency histograms (see
 	// stats.DemandPath); always populated.
 	Lat *stats.PathLatencies
+	// Attr holds the per-path latency attribution (span decomposition);
+	// always populated, and its per-path sums equal Lat's by construction.
+	Attr *stats.Attribution
+	// ConservationErr is non-nil when the end-of-run counter-conservation
+	// audit (stats.CheckConservation) found an invariant violation.
+	ConservationErr error
+	// Profile is the hotness profiler, when Spec.Telemetry requested one.
+	Profile *telemetry.Profiler
 }
 
 // placementFor returns the first-touch allocation policy each scheme
@@ -248,9 +257,14 @@ func Run(spec Spec) (*Result, error) {
 	}
 	res.FootprintPages = space.PagesTouched()
 	res.Lat = sys.Lat
-	// SILC-FM's dedicated metadata channel contributes dynamic energy too.
+	res.Attr = sys.Attr
+	res.Profile = tel.Profiler()
+	// SILC-FM's dedicated metadata channel contributes dynamic energy too,
+	// and its traffic joins NM's side of the byte-conservation ledger.
+	var extraNM []*dram.Device
 	if sc, ok := rawCtl.(*core.Controller); ok {
 		sys.Stats.ExtraEnergyPJ += sc.MetaDeviceStats().DynamicEnergyPJ
+		extraNM = append(extraNM, sc.MetaDevice())
 	}
 	res.Energy = energy.Compute(m.NM, m.FM, sys.NM.Stats(), sys.FM.Stats(), sys.Stats, res.Cycles)
 	res.EnergyNJ = res.Energy.TotalNJ()
@@ -265,6 +279,11 @@ func Run(spec Spec) (*Result, error) {
 	if chk != nil {
 		res.ShadowErr = chk.Check()
 	}
+	// Counter-conservation audit. The engine may still hold scheduled
+	// background work (telemetry pump, deferred writebacks), so the tolerant
+	// (non-quiesced) invariants apply here; the stress driver runs the
+	// strict quiesced form after a full drain.
+	res.ConservationErr = stats.CheckConservation(sys.Conservation(false, extraNM...))
 	return res, nil
 }
 

@@ -1,10 +1,13 @@
 package mem
 
+import "silcfm/internal/stats"
+
 // fanout tees every observer event to multiple Observers in attach order,
 // so independent consumers (the shadow integrity checker, the telemetry
-// movement tracer) compose instead of fighting over the single Obs slot.
-// It always implements SchemeObserver, forwarding scheme-level events only
-// to members that handle them.
+// movement tracer, the hotness profiler) compose instead of fighting over
+// the single Obs slot. It always implements SchemeObserver and
+// DemandObserver, forwarding those optional events only to members that
+// handle them.
 type fanout struct {
 	obs []Observer
 }
@@ -41,25 +44,42 @@ func (f *fanout) Swap(a, b Location) {
 	}
 }
 
-func (f *fanout) Lock(frame uint64, home bool) {
+func (f *fanout) Lock(frame, block uint64, home bool) {
 	for _, o := range f.obs {
 		if so, ok := o.(SchemeObserver); ok {
-			so.Lock(frame, home)
+			so.Lock(frame, block, home)
 		}
 	}
 }
 
-func (f *fanout) Unlock(frame uint64) {
+func (f *fanout) Unlock(frame, block uint64) {
 	for _, o := range f.obs {
 		if so, ok := o.(SchemeObserver); ok {
-			so.Unlock(frame)
+			so.Unlock(frame, block)
+		}
+	}
+}
+
+func (f *fanout) DemandComplete(a *Access, path stats.DemandPath, lat uint64) {
+	for _, o := range f.obs {
+		if do, ok := o.(DemandObserver); ok {
+			do.DemandComplete(a, path, lat)
 		}
 	}
 }
 
 // AttachObserver adds o to the System's observer chain. The first attach
 // installs o directly; later attaches tee events to every observer in
-// attach order. All observers see the identical event stream.
+// attach order.
+//
+// Ordering guarantee: for every event, observers are notified
+// first-attached-first, synchronously, before the emitting operation
+// continues. Consumers may rely on this to compose — e.g. the shadow
+// integrity checker is attached before telemetry, so it has validated each
+// movement before the tracer or profiler consumes it. All observers see
+// the identical event stream; optional SchemeObserver / DemandObserver
+// events go only to members implementing those interfaces, still in attach
+// order.
 func (s *System) AttachObserver(o Observer) {
 	switch cur := s.Obs.(type) {
 	case nil:

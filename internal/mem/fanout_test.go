@@ -34,11 +34,11 @@ type fanSchemeObs struct {
 func (r *fanSchemeObs) Swap(a, b Location) {
 	r.events = append(r.events, fmt.Sprintf("swap %v %v", a, b))
 }
-func (r *fanSchemeObs) Lock(frame uint64, home bool) {
-	r.events = append(r.events, fmt.Sprintf("lock %d %v", frame, home))
+func (r *fanSchemeObs) Lock(frame, block uint64, home bool) {
+	r.events = append(r.events, fmt.Sprintf("lock %d %d %v", frame, block, home))
 }
-func (r *fanSchemeObs) Unlock(frame uint64) {
-	r.events = append(r.events, fmt.Sprintf("unlock %d", frame))
+func (r *fanSchemeObs) Unlock(frame, block uint64) {
+	r.events = append(r.events, fmt.Sprintf("unlock %d %d", frame, block))
 }
 
 func emitAll(s *System) {
@@ -49,8 +49,8 @@ func emitAll(s *System) {
 	s.NoteDeliver(fm, nm)
 	s.NoteRelocate(nm, fm)
 	s.NoteSwap(nm, fm)
-	s.NoteLock(3, true)
-	s.NoteUnlock(3)
+	s.NoteLock(3, 7, true)
+	s.NoteUnlock(3, 7)
 }
 
 func TestAttachObserverSingle(t *testing.T) {
@@ -79,8 +79,8 @@ func TestFanoutOrderingAndSchemeFiltering(t *testing.T) {
 	}
 	wantScheme := append(append([]string{}, wantPlain...),
 		"swap {NM 0} {FM 64}",
-		"lock 3 true",
-		"unlock 3",
+		"lock 3 7 true",
+		"unlock 3 7",
 	)
 	if !reflect.DeepEqual(plain.events, wantPlain) {
 		t.Errorf("plain observer events:\n got %q\nwant %q", plain.events, wantPlain)
@@ -108,6 +108,78 @@ func TestFanoutBothSeeIdenticalStreams(t *testing.T) {
 	}
 	if !reflect.DeepEqual(a.events, b.events) || !reflect.DeepEqual(a.events, c.events) {
 		t.Errorf("fanout members diverged:\n a %q\n b %q\n c %q", a.events, b.events, c.events)
+	}
+}
+
+// taggedObs appends "<tag>:<event>" to a log shared across observers, so
+// tests can assert the relative notification order between members.
+type taggedObs struct {
+	tag string
+	log *[]string
+}
+
+func (o *taggedObs) note(ev string) { *o.log = append(*o.log, o.tag+":"+ev) }
+
+func (o *taggedObs) Demand(pa uint64, loc Location, write bool) { o.note("demand") }
+func (o *taggedObs) Capture(loc Location)                       { o.note("capture") }
+func (o *taggedObs) Deliver(src, dst Location)                  { o.note("deliver") }
+func (o *taggedObs) Relocate(src, dst Location)                 { o.note("relocate") }
+func (o *taggedObs) Swap(a, b Location)                         { o.note("swap") }
+func (o *taggedObs) Lock(frame, block uint64, home bool)        { o.note("lock") }
+func (o *taggedObs) Unlock(frame, block uint64)                 { o.note("unlock") }
+func (o *taggedObs) DemandComplete(a *Access, path stats.DemandPath, lat uint64) {
+	o.note("complete")
+}
+
+// TestFanoutFirstAttachedFirstNotified pins the documented AttachObserver
+// ordering guarantee: for every event, members are notified in attach
+// order before the emitting operation continues.
+func TestFanoutFirstAttachedFirstNotified(t *testing.T) {
+	_, s := newSys()
+	var log []string
+	s.AttachObserver(&taggedObs{tag: "first", log: &log})
+	s.AttachObserver(&taggedObs{tag: "second", log: &log})
+	s.AttachObserver(&taggedObs{tag: "third", log: &log})
+
+	emitAll(s)
+
+	events := []string{"demand", "capture", "deliver", "relocate", "swap", "lock", "unlock"}
+	var want []string
+	for _, ev := range events {
+		for _, tag := range []string{"first", "second", "third"} {
+			want = append(want, tag+":"+ev)
+		}
+	}
+	if !reflect.DeepEqual(log, want) {
+		t.Errorf("notification order:\n got %q\nwant %q", log, want)
+	}
+}
+
+// TestFanoutForwardsDemandComplete checks that demand completions reach
+// every DemandObserver member in attach order, with the span attribution
+// already final (residual folded into SpanOther).
+func TestFanoutForwardsDemandComplete(t *testing.T) {
+	eng, s := newSys()
+	var log []string
+	s.AttachObserver(&taggedObs{tag: "first", log: &log})
+	s.AttachObserver(&fanObs{}) // plain member: must be skipped, not crash
+	s.AttachObserver(&taggedObs{tag: "second", log: &log})
+
+	var spanSum, total uint64
+	a := &Access{PAddr: 0x40, Start: eng.Now(), Done: func() {}}
+	s.ServiceAccess(a, Location{Level: stats.NM, DevAddr: 0x40}, stats.PathNMHit)
+	eng.Run()
+
+	want := []string{"first:demand", "second:demand", "first:complete", "second:complete"}
+	if !reflect.DeepEqual(log, want) {
+		t.Errorf("demand-complete fanout:\n got %q\nwant %q", log, want)
+	}
+	total = eng.Now() - a.Start
+	for _, v := range a.Spans() {
+		spanSum += v
+	}
+	if spanSum != total {
+		t.Errorf("span sum %d != end-to-end latency %d", spanSum, total)
 	}
 }
 

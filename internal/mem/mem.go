@@ -30,6 +30,32 @@ type Access struct {
 	// Done is called when the demand data is available (reads) or accepted
 	// (writes). May be nil.
 	Done func()
+
+	// spans accumulates this access's latency attribution (stats.Span):
+	// devices and scheme controllers stamp named components as the access
+	// moves through the system, and the completion callback from
+	// DemandDone folds them into System.Attr with the residual in
+	// stats.SpanOther.
+	spans [stats.NumSpans]uint64
+}
+
+// AddSpan charges cycles of this access's latency to span s.
+func (a *Access) AddSpan(s stats.Span, cycles uint64) {
+	if s >= 0 && s < stats.NumSpans {
+		a.spans[s] += cycles
+	}
+}
+
+// Spans returns the per-span attribution accumulated so far.
+func (a *Access) Spans() [stats.NumSpans]uint64 { return a.spans }
+
+// SpanTrace returns a dram.Request Trace callback that charges the demand
+// device request's queue-wait and service time to this access.
+func (a *Access) SpanTrace() func(queue, service uint64) {
+	return func(queue, service uint64) {
+		a.spans[stats.SpanQueue] += queue
+		a.spans[stats.SpanService] += service
+	}
 }
 
 // Location is a device-level position of one subblock.
@@ -79,11 +105,21 @@ type SchemeObserver interface {
 	// bulk block DMA); the Capture/Deliver pairs describing its dataflow
 	// follow separately.
 	Swap(a, b Location)
-	// Lock: NM frame was locked; home reports whether it pins its own
-	// home block (true) or an interleaved FM block (false).
-	Lock(frame uint64, home bool)
-	// Unlock: NM frame rejoined normal swapping.
-	Unlock(frame uint64)
+	// Lock: NM frame was locked over the flat 2 KB block with index
+	// block; home reports whether it pins the frame's own home block
+	// (true) or an interleaved FM block (false).
+	Lock(frame, block uint64, home bool)
+	// Unlock: NM frame rejoined normal swapping; block is the flat block
+	// index it had pinned.
+	Unlock(frame, block uint64)
+}
+
+// DemandObserver is an optional Observer extension receiving demand
+// completions with their path classification and end-to-end latency. The
+// hotness profiler implements it; the callback runs after the access's
+// span attribution is final, so a.Spans() is complete.
+type DemandObserver interface {
+	DemandComplete(a *Access, path stats.DemandPath, lat uint64)
 }
 
 // Gauge is one named instantaneous scheme measurement, sampled by the
@@ -114,6 +150,23 @@ type System struct {
 	// cannot perturb timing.
 	Lat *stats.PathLatencies
 
+	// Attr accumulates the per-path span decomposition of the same
+	// completions (see stats.Span). Like Lat it is always allocated and
+	// always recording; stats.CheckConservation proves its sums equal
+	// Lat's end-to-end totals.
+	Attr *stats.Attribution
+
+	// inflight counts demand accesses whose ServicedNM/FM counter has
+	// ticked but whose completion callback has not yet fired; the
+	// conservation audit balances it against the histogram counts.
+	inflight uint64
+
+	// RideAlong counts bytes per level that were accounted in Stats.Bytes
+	// but rode an existing device request instead of a submission of their
+	// own (see AddBytesRideAlong); the conservation audit subtracts them
+	// when balancing against device counters.
+	RideAlong [2]uint64
+
 	// Obs, when non-nil, receives semantic data-movement events from the
 	// compound operations below (and Note* calls from schemes with custom
 	// movement paths).
@@ -138,6 +191,7 @@ func NewSystem(m config.Machine, eng *sim.Engine) *System {
 		FMCap: m.FM.Capacity,
 		Stats: &stats.Memory{},
 		Lat:   stats.NewPathLatencies(),
+		Attr:  &stats.Attribution{},
 	}
 }
 
@@ -201,63 +255,111 @@ func (s *System) NoteSwap(a, b Location) {
 	}
 }
 
-// NoteLock reports a frame lock to observers implementing SchemeObserver.
-func (s *System) NoteLock(frame uint64, home bool) {
+// NoteLock reports a frame lock over flat block index block to observers
+// implementing SchemeObserver.
+func (s *System) NoteLock(frame, block uint64, home bool) {
 	if so, ok := s.Obs.(SchemeObserver); ok {
-		so.Lock(frame, home)
+		so.Lock(frame, block, home)
 	}
 }
 
 // NoteUnlock reports a frame unlock to observers implementing
-// SchemeObserver.
-func (s *System) NoteUnlock(frame uint64) {
+// SchemeObserver; block is the flat block index the frame had pinned.
+func (s *System) NoteUnlock(frame, block uint64) {
 	if so, ok := s.Obs.(SchemeObserver); ok {
-		so.Unlock(frame)
+		so.Unlock(frame, block)
 	}
 }
 
-// DemandDone classifies access a under path for the per-path latency
-// histograms and returns the completion callback to use in its place:
-// invoking it records now-Start under path, then chains to a.Done.
+// DemandDone classifies access a under path for the per-path latency and
+// span-attribution accounting and returns the completion callback to use
+// in its place: invoking it records now-Start under path, folds the
+// access's spans (residual into stats.SpanOther) into Attr, notifies any
+// DemandObserver, then chains to a.Done. Every callback returned here must
+// be invoked exactly once; the conservation audit counts the callbacks
+// still outstanding.
 func (s *System) DemandDone(a *Access, path stats.DemandPath) func() {
 	done := a.Done
 	if s.Lat == nil {
 		return done
 	}
-	lat, eng, start := s.Lat, s.Eng, a.Start
+	s.inflight++
 	return func() {
-		lat.Observe(path, eng.Now()-start)
+		total := s.Eng.Now() - a.Start
+		var known uint64
+		for sp := stats.Span(0); sp < stats.SpanOther; sp++ {
+			known += a.spans[sp]
+		}
+		if known <= total {
+			// The residual (any wait the instrumentation does not name)
+			// lands in SpanOther so the span sum telescopes to the
+			// end-to-end latency exactly. An overshoot is left unbalanced
+			// for CheckConservation to flag instead of clamping it away.
+			a.spans[stats.SpanOther] = total - known
+		}
+		s.Lat.Observe(path, total)
+		if s.Attr != nil {
+			s.Attr.Observe(path, &a.spans)
+		}
+		s.inflight--
+		if do, ok := s.Obs.(DemandObserver); ok {
+			do.DemandComplete(a, path, total)
+		}
 		if done != nil {
 			done()
 		}
 	}
 }
 
+// InflightDemands reports demand accesses serviced but not yet completed.
+func (s *System) InflightDemands() uint64 { return s.inflight }
+
 // ServiceAccess is ServiceDemand over a full Access, recording the demand
-// completion latency under path.
+// completion latency under path and attributing the device request's
+// queue/service time to the access.
 func (s *System) ServiceAccess(a *Access, loc Location, path stats.DemandPath) {
-	s.ServiceDemand(a.PAddr, loc, a.Write, s.DemandDone(a, path))
+	s.serviceDemand(a.PAddr, loc, a.Write, a.SpanTrace(), s.DemandDone(a, path))
 }
 
 // SwapAccess is SwapDemand over a full Access, recording the demand
-// completion latency under path.
+// completion latency under path and attributing the demand leg's
+// queue/service time to the access.
 func (s *System) SwapAccess(a *Access, src, dst Location, path stats.DemandPath) {
-	s.SwapDemand(a.PAddr, src, dst, a.Write, s.DemandDone(a, path))
+	s.swapDemand(a.PAddr, src, dst, a.Write, a.SpanTrace(), s.DemandDone(a, path))
 }
 
 // Read submits a read of n bytes at loc, accounted under class, invoking
 // done at completion.
 func (s *System) Read(loc Location, n uint64, class stats.TrafficClass, done func()) {
+	s.readTraced(loc, n, class, nil, done)
+}
+
+// ReadDemand is Read with span attribution: the device charges a's
+// queue-wait and service time (stats.SpanQueue / stats.SpanService).
+func (s *System) ReadDemand(a *Access, loc Location, n uint64, class stats.TrafficClass, done func()) {
+	s.readTraced(loc, n, class, a.SpanTrace(), done)
+}
+
+func (s *System) readTraced(loc Location, n uint64, class stats.TrafficClass, trace func(queue, service uint64), done func()) {
 	s.Stats.AddBytes(loc.Level, class, n)
-	s.Device(loc.Level).Submit(dram.Request{Addr: loc.DevAddr, Bytes: n, Done: done})
+	s.Device(loc.Level).Submit(dram.Request{Addr: loc.DevAddr, Bytes: n, Trace: trace, Done: done})
 }
 
 // ReadMeta submits a read with an extended burst carrying meta additional
 // metadata bytes (CAMEO's in-row remap entries).
 func (s *System) ReadMeta(loc Location, n, meta uint64, class stats.TrafficClass, done func()) {
+	s.readMetaTraced(loc, n, meta, class, nil, done)
+}
+
+// ReadMetaDemand is ReadMeta with span attribution for access a.
+func (s *System) ReadMetaDemand(a *Access, loc Location, n, meta uint64, class stats.TrafficClass, done func()) {
+	s.readMetaTraced(loc, n, meta, class, a.SpanTrace(), done)
+}
+
+func (s *System) readMetaTraced(loc Location, n, meta uint64, class stats.TrafficClass, trace func(queue, service uint64), done func()) {
 	s.Stats.AddBytes(loc.Level, class, n)
 	s.Stats.AddBytes(loc.Level, stats.Metadata, meta)
-	s.Device(loc.Level).Submit(dram.Request{Addr: loc.DevAddr, Bytes: n, MetaBytes: meta, Done: done})
+	s.Device(loc.Level).Submit(dram.Request{Addr: loc.DevAddr, Bytes: n, MetaBytes: meta, Trace: trace, Done: done})
 }
 
 // ReadBackground submits a background-priority read (bulk migration DMA,
@@ -274,11 +376,24 @@ func (s *System) Write(loc Location, n uint64, class stats.TrafficClass, done fu
 	s.Device(loc.Level).Submit(dram.Request{Addr: loc.DevAddr, Bytes: n, Write: true, Done: done})
 }
 
+// AddBytesRideAlong accounts traffic that rides an existing device request
+// instead of a submission of its own (CAMEO's remap-entry update folded
+// into an NM demand write). It keeps Stats.Bytes complete while telling
+// the conservation audit not to expect matching device-side bytes.
+func (s *System) AddBytesRideAlong(level stats.MemLevel, class stats.TrafficClass, n uint64) {
+	s.Stats.AddBytes(level, class, n)
+	s.RideAlong[level] += n
+}
+
 // ServiceDemand accounts a demand access of flat address pa satisfied at
 // loc and performs it: reads invoke done at data return; writes complete
 // immediately after submission (write-release semantics at the memory
 // controller) while still occupying bandwidth.
 func (s *System) ServiceDemand(pa uint64, loc Location, write bool, done func()) {
+	s.serviceDemand(pa, loc, write, nil, done)
+}
+
+func (s *System) serviceDemand(pa uint64, loc Location, write bool, trace func(queue, service uint64), done func()) {
 	if loc.Level == stats.NM {
 		s.Stats.ServicedNM++
 	} else {
@@ -286,13 +401,16 @@ func (s *System) ServiceDemand(pa uint64, loc Location, write bool, done func())
 	}
 	s.NoteDemand(pa, loc, write)
 	if write {
+		// The demand write completes at submission, before the device
+		// issues it, so there is no device time to attribute: the access's
+		// end-to-end latency is exactly its pre-submission spans.
 		s.Write(loc, memunits.SubblockSize, stats.Demand, nil)
 		if done != nil {
 			done()
 		}
 		return
 	}
-	s.Read(loc, memunits.SubblockSize, stats.Demand, done)
+	s.readTraced(loc, memunits.SubblockSize, stats.Demand, trace, done)
 }
 
 // ExchangeSubblocks models a hardware swap of one subblock between two
@@ -329,6 +447,10 @@ func (s *System) ExchangeSubblocks(a, b Location, fin func()) {
 // first; FaultInjectSwapOrder reintroduces the reversed (buggy) order for
 // checker-validation tests.
 func (s *System) SwapDemand(pa uint64, src, dst Location, write bool, done func()) {
+	s.swapDemand(pa, src, dst, write, nil, done)
+}
+
+func (s *System) swapDemand(pa uint64, src, dst Location, write bool, trace func(queue, service uint64), done func()) {
 	s.NoteSwap(src, dst)
 	if src.Level == stats.NM {
 		s.Stats.ServicedNM++
@@ -366,7 +488,7 @@ func (s *System) SwapDemand(pa uint64, src, dst Location, write bool, done func(
 	s.NoteCapture(dst)
 	s.NoteDeliver(src, dst)
 	s.NoteDeliver(dst, src)
-	s.Read(src, memunits.SubblockSize, stats.Demand, func() {
+	s.readTraced(src, memunits.SubblockSize, stats.Demand, trace, func() {
 		if done != nil {
 			done()
 		}
@@ -413,6 +535,32 @@ func (s *System) RelocateBlockDMA(src, dst Location, fin func()) {
 	s.ReadBackground(src, memunits.BlockSize, stats.Migration, func() {
 		s.Write(dst, memunits.BlockSize, stats.Migration, fin)
 	})
+}
+
+// Conservation assembles the cross-counter invariant inputs for
+// stats.CheckConservation from one consistent instant between engine
+// events. quiesced marks a fully drained engine (strict equalities);
+// extraNM lists additional devices whose traffic is accounted against the
+// NM level (SILC-FM's dedicated HBM metadata channel).
+func (s *System) Conservation(quiesced bool, extraNM ...*dram.Device) stats.Conservation {
+	c := stats.Conservation{
+		Mem:             s.Stats,
+		Lat:             s.Lat,
+		Attr:            s.Attr,
+		InflightDemands: s.inflight,
+		RideAlongBytes:  s.RideAlong,
+		Quiesced:        quiesced,
+	}
+	devBytes := func(d *dram.Device) uint64 {
+		st := d.Stats()
+		return st.BytesRead + st.BytesWritten + st.BytesMeta + d.PendingBytes()
+	}
+	c.DeviceBytes[stats.NM] = devBytes(s.NM)
+	c.DeviceBytes[stats.FM] = devBytes(s.FM)
+	for _, d := range extraNM {
+		c.DeviceBytes[stats.NM] += devBytes(d)
+	}
+	return c
 }
 
 // Audit verifies that ctl's Locate is a bijection over every flat subblock:

@@ -136,13 +136,16 @@ func (c *Controller) Handle(a *mem.Access) {
 		done := c.sys.DemandDone(a, stats.PathNMHit)
 		c.sys.NoteDemand(a.PAddr, nmSlot, a.Write)
 		if a.Write {
+			// The remap-entry update rides the demand write's burst: it is
+			// accounted as metadata bytes without a device request of its
+			// own (the write completes at submission either way).
 			c.sys.Write(nmSlot, memunits.SubblockSize, stats.Demand, nil)
-			st.AddBytes(stats.NM, stats.Metadata, remapEntrySize)
+			c.sys.AddBytesRideAlong(stats.NM, stats.Metadata, remapEntrySize)
 			if done != nil {
 				done()
 			}
 		} else {
-			c.sys.ReadMeta(nmSlot, memunits.SubblockSize, remapEntrySize, stats.Demand, done)
+			c.sys.ReadMetaDemand(a, nmSlot, memunits.SubblockSize, remapEntrySize, stats.Demand, done)
 		}
 		return
 	}
@@ -153,6 +156,7 @@ func (c *Controller) Handle(a *mem.Access) {
 	// entry has to be checked first in NM prior to accessing FM).
 	st.ServicedFM++
 	done := c.sys.DemandDone(a, stats.PathSwap)
+	metaStart := c.sys.Eng.Now()
 	fmLoc := c.locAddr(g, loc)
 	evictLoc := fmLoc // the victim moves to the requested line's old home
 	c.swapIntoNM(g, m)
@@ -170,6 +174,10 @@ func (c *Controller) Handle(a *mem.Access) {
 	}
 	c.sys.NoteDeliver(nmSlot, evictLoc)
 	c.sys.ReadMeta(nmSlot, memunits.SubblockSize, remapEntrySize, stats.Migration, func() {
+		// Everything up to here was the serialized remap-entry check in NM
+		// (queue + extended-burst service of the victim line): charge it as
+		// metadata-fetch time on the demand path.
+		a.AddSpan(stats.SpanMetaFetch, c.sys.Eng.Now()-metaStart)
 		if a.Write {
 			// Write allocate: new data lands in NM, victim goes to FM.
 			c.sys.Write(nmSlot, memunits.SubblockSize, stats.Demand, nil)
@@ -179,7 +187,7 @@ func (c *Controller) Handle(a *mem.Access) {
 			}
 			return
 		}
-		c.sys.Read(fmLoc, memunits.SubblockSize, stats.Demand, func() {
+		c.sys.ReadDemand(a, fmLoc, memunits.SubblockSize, stats.Demand, func() {
 			// Demand data returned; install + evict in the background.
 			if done != nil {
 				done()

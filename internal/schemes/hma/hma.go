@@ -107,6 +107,7 @@ func (c *Controller) Handle(a *mem.Access) {
 		// entry) happens at deferred-service time so the OS stall is
 		// charged to whichever level finally services the demand.
 		c.stalled++
+		a.AddSpan(stats.SpanSwapSerial, c.blockedUntil-now)
 		c.sys.Eng.At(c.blockedUntil, func() {
 			c.service(a)
 		})

@@ -6,6 +6,7 @@ import (
 
 	"silcfm/internal/config"
 	"silcfm/internal/core"
+	"silcfm/internal/dram"
 	"silcfm/internal/mem"
 	"silcfm/internal/memunits"
 	"silcfm/internal/schemes/cameo"
@@ -13,6 +14,7 @@ import (
 	"silcfm/internal/schemes/hma"
 	"silcfm/internal/schemes/pom"
 	"silcfm/internal/sim"
+	"silcfm/internal/stats"
 )
 
 // StressOptions parameterize RunStress.
@@ -91,6 +93,19 @@ func RunStress(o StressOptions) error {
 	randSub := func() uint64 {
 		return uint64(rng.Intn(int(memunits.SubblocksPerBlock))) * memunits.SubblockSize
 	}
+	// The SILC-FM metadata channel is a separate device whose traffic joins
+	// NM's side of the byte-conservation ledger.
+	var extraNM []*dram.Device
+	if sc, ok := ctl.(*core.Controller); ok {
+		extraNM = append(extraNM, sc.MetaDevice())
+	}
+	conserve := func(quiesced bool) error {
+		if err := stats.CheckConservation(sys.Conservation(quiesced, extraNM...)); err != nil {
+			return fmt.Errorf("shadow stress [%s]: %w", ctl.Name(), err)
+		}
+		return nil
+	}
+
 	var seq uint64
 	for i := 0; i < ops; i++ {
 		var pa uint64
@@ -110,6 +125,7 @@ func RunStress(o StressOptions) error {
 			PC:    uint64(1 + rng.Intn(8)),
 			PAddr: pa,
 			Write: rng.Intn(100) < 30,
+			Start: eng.Now(),
 		})
 		if i%64 == 63 {
 			eng.Run()
@@ -121,11 +137,21 @@ func RunStress(o StressOptions) error {
 			if err := mem.AuditSample(chk, nmFlat, sys.FMCap, 13); err != nil {
 				return fmt.Errorf("shadow stress [%s]: %w", ctl.Name(), err)
 			}
+			// Mid-run the engine still holds scheduled work, so the tolerant
+			// conservation invariants apply.
+			if err := conserve(false); err != nil {
+				return err
+			}
 		}
 	}
 	eng.Run()
 	if err := mem.Audit(chk, nmFlat, sys.FMCap); err != nil {
 		return fmt.Errorf("shadow stress [%s]: %w", ctl.Name(), err)
+	}
+	// Fully drained: the strict quiesced invariants must hold — every miss
+	// serviced, nothing in flight, every byte accounted.
+	if err := conserve(true); err != nil {
+		return err
 	}
 	return chk.Check()
 }

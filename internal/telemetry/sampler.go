@@ -146,6 +146,15 @@ func (s *sampler) finish() error {
 	return s.sample()
 }
 
+// csvField quotes a cell per RFC 4180 when it contains a comma, quote or
+// newline (gauge names come from scheme code and are not constrained here).
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
 // csvFixed lists the non-gauge CSV columns, matching Sample field order.
 var csvFixed = []string{
 	"epoch", "cycle", "span_cycles",
@@ -167,8 +176,8 @@ func (s *sampler) writeCSV(sm *Sample) error {
 		}
 		b.WriteString(strings.Join(csvFixed, ","))
 		for _, n := range s.gaugeNames {
-			b.WriteString(",g:")
-			b.WriteString(n)
+			b.WriteByte(',')
+			b.WriteString(csvField("g:" + n))
 		}
 		b.WriteByte('\n')
 		s.wroteHeader = true

@@ -2,14 +2,16 @@
 // sampler that streams time-series metrics (stats.Memory counter deltas plus
 // scheme gauges) as JSONL or CSV, a movement-event tracer that records the
 // semantic mem.Observer stream as Chrome trace-event JSON viewable in
-// Perfetto, and periodic progress reporting for long runs.
+// Perfetto, a bounded per-block / per-PC hotness profiler, and periodic
+// progress reporting for long runs.
 //
 // All instrumentation is read-only with respect to simulation state: the
 // sampler pump schedules zero-work events on the engine (which never change
-// the relative order of real events, see sim.Engine's (when, seq) ordering)
-// and the tracer only appends to a ring buffer. Enabling telemetry therefore
-// cannot change Cycles or any counter, and all output is byte-deterministic
-// for a fixed seed.
+// the relative order of real events, see sim.Engine's (when, seq) ordering),
+// the tracer only appends to a ring buffer, and the profiler only bumps
+// counters in bounded maps. Enabling telemetry therefore cannot change
+// Cycles or any counter, and all output is byte-deterministic for a fixed
+// seed.
 package telemetry
 
 import (
@@ -37,6 +39,15 @@ type Config struct {
 	TraceLimit int
 	// ProgressW receives a progress line each epoch.
 	ProgressW io.Writer
+	// ProfileW receives the per-block / per-PC hotness profile as JSONL at
+	// end of run.
+	ProfileW io.Writer
+	// Profile collects the hotness profile without writing it (for callers
+	// that only render TopOffenders); implied by ProfileW != nil.
+	Profile bool
+	// ProfileMaxEntries bounds each profile map (default 1<<15 blocks and
+	// 1<<15 PCs; new keys past the cap are counted as dropped).
+	ProfileMaxEntries int
 }
 
 // DefaultEpochCycles is the sampling period used when Config.EpochCycles is
@@ -54,6 +65,7 @@ type T struct {
 	sys     *mem.System
 	sampler *sampler
 	tracer  *Tracer
+	prof    *Profiler
 	// progress reports retired and target instructions across cores.
 	progress func() (done, total uint64)
 	err      error
@@ -63,7 +75,8 @@ type T struct {
 // the raw (unwrapped) controller; if it implements mem.GaugeProvider its
 // gauges ride along in every sample. Returns nil when cfg requests nothing.
 func Attach(cfg *Config, sys *mem.System, ctl mem.Controller) *T {
-	if cfg == nil || (cfg.MetricsW == nil && cfg.TraceW == nil && cfg.ProgressW == nil) {
+	if cfg == nil || (cfg.MetricsW == nil && cfg.TraceW == nil && cfg.ProgressW == nil &&
+		cfg.ProfileW == nil && !cfg.Profile) {
 		return nil
 	}
 	t := &T{cfg: *cfg, sys: sys}
@@ -81,7 +94,20 @@ func Attach(cfg *Config, sys *mem.System, ctl mem.Controller) *T {
 		t.tracer = NewTracer(sys.Eng, t.cfg.TraceLimit)
 		sys.AttachObserver(t.tracer)
 	}
+	if t.cfg.ProfileW != nil || t.cfg.Profile {
+		t.prof = NewProfiler(sys, t.cfg.ProfileMaxEntries)
+		sys.AttachObserver(t.prof)
+	}
 	return t
+}
+
+// Profiler returns the attached hotness profiler, or nil when profiling was
+// not requested.
+func (t *T) Profiler() *Profiler {
+	if t == nil {
+		return nil
+	}
+	return t.prof
 }
 
 // SetProgress installs the instruction-progress probe used by ProgressW.
@@ -138,6 +164,9 @@ func (t *T) Finish() error {
 	}
 	if t.tracer != nil && t.err == nil {
 		t.err = t.tracer.Write(t.cfg.TraceW)
+	}
+	if t.prof != nil && t.cfg.ProfileW != nil && t.err == nil {
+		t.err = t.prof.WriteJSONL(t.cfg.ProfileW)
 	}
 	return t.err
 }

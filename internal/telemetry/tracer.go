@@ -97,14 +97,15 @@ func (t *Tracer) Swap(a, b mem.Location) {
 	t.record(event{kind: evSwap, a: a, b: b})
 }
 
-// Lock implements mem.SchemeObserver.
-func (t *Tracer) Lock(frame uint64, home bool) {
-	t.record(event{kind: evLock, write: home, a: mem.Location{DevAddr: frame}})
+// Lock implements mem.SchemeObserver. The pinned flat block index rides in
+// the pa field.
+func (t *Tracer) Lock(frame, block uint64, home bool) {
+	t.record(event{kind: evLock, write: home, pa: block, a: mem.Location{DevAddr: frame}})
 }
 
 // Unlock implements mem.SchemeObserver.
-func (t *Tracer) Unlock(frame uint64) {
-	t.record(event{kind: evUnlock, a: mem.Location{DevAddr: frame}})
+func (t *Tracer) Unlock(frame, block uint64) {
+	t.record(event{kind: evUnlock, pa: block, a: mem.Location{DevAddr: frame}})
 }
 
 // Events reports (recorded, dropped) counts.
@@ -150,9 +151,9 @@ func argsOf(e *event) map[string]any {
 		if e.write {
 			kind = "home"
 		}
-		return map[string]any{"frame": e.a.DevAddr, "kind": kind}
+		return map[string]any{"frame": e.a.DevAddr, "block": e.pa, "kind": kind}
 	default: // evUnlock
-		return map[string]any{"frame": e.a.DevAddr}
+		return map[string]any{"frame": e.a.DevAddr, "block": e.pa}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 
 	"silcfm/internal/config"
 	"silcfm/internal/harness"
+	"silcfm/internal/stats"
 	"silcfm/internal/telemetry"
 	"silcfm/internal/workload"
 )
@@ -149,6 +150,17 @@ type Options struct {
 	// ProgressOut, when non-nil, receives a progress line per epoch.
 	ProgressOut io.Writer
 
+	// ProfileOut writes the per-block / per-PC hotness profile as JSONL at
+	// end of run: demand counts and latency, subblock swap churn, lock
+	// transitions and bypass/mispredict pressure per flat 2 KB block and per
+	// program counter, plus a summary line. Profiling is passive (counter
+	// increments only) and cannot change Cycles or any counter.
+	ProfileOut string
+	// ProfileTopK, when positive, collects the hotness profile (even
+	// without ProfileOut) and renders the K hottest blocks and PCs into
+	// Report.TopOffenders.
+	ProfileTopK int
+
 	Seed int64
 }
 
@@ -180,6 +192,31 @@ type Report struct {
 	// (NM hit, FM, swap critical path, bypass, predictor mispredict);
 	// empty paths are omitted.
 	DemandLatency []PathLatency
+
+	// Attribution decomposes each path's total demand latency into named
+	// spans (queue, device service, metadata fetch, swap serialization,
+	// mispredict retry, other). For every path the span total equals the
+	// DemandLatency sum exactly — verified by the counter-conservation
+	// audit at end of run. Empty paths are omitted.
+	Attribution []PathSpans
+
+	// TopOffenders is the rendered hottest-blocks / hottest-PCs tables when
+	// Options.ProfileTopK was set.
+	TopOffenders string
+}
+
+// PathSpans is one service path's latency attribution, in cycles summed
+// over all completions on that path.
+type PathSpans struct {
+	Path       string
+	Count      uint64
+	Total      uint64
+	Queue      uint64
+	Service    uint64
+	MetaFetch  uint64
+	SwapSerial uint64
+	Mispredict uint64
+	Other      uint64
 }
 
 // PathLatency summarizes one service path's demand latency distribution.
@@ -294,14 +331,18 @@ func Run(o Options) (*Report, error) {
 	if res.ShadowErr != nil {
 		return nil, fmt.Errorf("silcfm: shadow integrity check failed: %w", res.ShadowErr)
 	}
-	return reportOf(res), nil
+	if res.ConservationErr != nil {
+		return nil, fmt.Errorf("silcfm: counter-conservation audit failed: %w", res.ConservationErr)
+	}
+	return reportOf(res, o.ProfileTopK), nil
 }
 
 // telemetryConfig opens the requested telemetry outputs. cleanup closes
 // them and reports the first close error (flush failures matter for files).
 func (o Options) telemetryConfig() (*telemetry.Config, func() error, error) {
 	noop := func() error { return nil }
-	if o.MetricsOut == "" && o.TraceOut == "" && o.ProgressOut == nil {
+	if o.MetricsOut == "" && o.TraceOut == "" && o.ProgressOut == nil &&
+		o.ProfileOut == "" && o.ProfileTopK <= 0 {
 		return nil, noop, nil
 	}
 	cfg := &telemetry.Config{
@@ -309,6 +350,7 @@ func (o Options) telemetryConfig() (*telemetry.Config, func() error, error) {
 		EpochCycles: o.MetricsEpoch,
 		TraceLimit:  o.TraceLimit,
 		ProgressW:   o.ProgressOut,
+		Profile:     o.ProfileTopK > 0,
 	}
 	var files []*os.File
 	open := func(path string) (*os.File, error) {
@@ -336,6 +378,13 @@ func (o Options) telemetryConfig() (*telemetry.Config, func() error, error) {
 		}
 		cfg.TraceW = f
 	}
+	if o.ProfileOut != "" {
+		f, err := open(o.ProfileOut)
+		if err != nil {
+			return nil, noop, err
+		}
+		cfg.ProfileW = f
+	}
 	cleanup := func() error {
 		var first error
 		for _, f := range files {
@@ -348,8 +397,8 @@ func (o Options) telemetryConfig() (*telemetry.Config, func() error, error) {
 	return cfg, cleanup, nil
 }
 
-func reportOf(res *harness.Result) *Report {
-	return &Report{
+func reportOf(res *harness.Result, topK int) *Report {
+	r := &Report{
 		Workload:          res.Workload,
 		Scheme:            res.Scheme,
 		Cycles:            res.Cycles,
@@ -369,7 +418,33 @@ func reportOf(res *harness.Result) *Report {
 		BypassedAccesses:  res.Mem.BypassedAccesses,
 		PredictorAccuracy: res.Mem.PredictorAccuracy(),
 		DemandLatency:     pathLatencies(res),
+		Attribution:       pathSpans(res),
 	}
+	if topK > 0 && res.Profile != nil {
+		r.TopOffenders = res.Profile.TopOffenders(topK)
+	}
+	return r
+}
+
+func pathSpans(res *harness.Result) []PathSpans {
+	if res.Attr == nil {
+		return nil
+	}
+	var out []PathSpans
+	for _, s := range res.Attr.Summaries() {
+		out = append(out, PathSpans{
+			Path:       s.Path,
+			Count:      s.Count,
+			Total:      s.Total,
+			Queue:      s.Spans[stats.SpanQueue],
+			Service:    s.Spans[stats.SpanService],
+			MetaFetch:  s.Spans[stats.SpanMetaFetch],
+			SwapSerial: s.Spans[stats.SpanSwapSerial],
+			Mispredict: s.Spans[stats.SpanMispredict],
+			Other:      s.Spans[stats.SpanOther],
+		})
+	}
+	return out
 }
 
 func pathLatencies(res *harness.Result) []PathLatency {
