@@ -1,7 +1,26 @@
 #!/bin/sh
-# Local CI gate: formatting, vet, build, and the test suite under the race
-# detector. Run from the repo root.
+# Local CI gate: formatting, vet, build, bench-smoke regression diff, and
+# the test suite under the race detector. Run from the repo root.
+#
+#   ./ci.sh          # everything
+#   ./ci.sh bench    # only the bench-smoke + manifest-diff stage
 set -eu
+
+# Bench-smoke stage: rerun the short manifest suite and diff its
+# deterministic counters against the committed trajectory baseline. Any
+# counter drift fails here in seconds — a whole-system correctness tripwire
+# that runs before the slow race-detector suite. Host-timing metrics are
+# skipped (-noise 0): the baseline was produced on a different machine.
+bench_smoke() {
+	go build -o /tmp/silcfm-bench ./cmd/silcfm-bench
+	/tmp/silcfm-bench -short -quiet -out /tmp/bench_smoke.json
+	/tmp/silcfm-bench -diff -subset -noise 0 BENCH_PR4.json /tmp/bench_smoke.json
+}
+
+if [ "${1:-}" = "bench" ]; then
+	bench_smoke
+	exit 0
+fi
 
 fmt=$(gofmt -l .)
 if [ -n "$fmt" ]; then
@@ -11,12 +30,14 @@ if [ -n "$fmt" ]; then
 fi
 
 # Fast-fail stage: the observability packages (stats counters, memory-system
-# attribution, telemetry writers) gate everything downstream and their tests
-# are quick — vet and race-test them first so broken instrumentation fails in
-# seconds, not after the full sweep-driven suite.
-go vet ./internal/stats ./internal/mem ./internal/telemetry
-go test -race ./internal/stats ./internal/mem ./internal/telemetry
+# attribution, manifest encoding, telemetry writers) gate everything
+# downstream and their tests are quick — vet and race-test them first so
+# broken instrumentation fails in seconds, not after the full sweep-driven
+# suite.
+go vet ./internal/stats ./internal/mem ./internal/telemetry ./internal/manifest
+go test -race ./internal/stats ./internal/mem ./internal/telemetry ./internal/manifest
 
 go vet ./...
 go build ./...
+bench_smoke
 go test -race ./...

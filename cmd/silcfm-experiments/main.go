@@ -16,14 +16,67 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"silcfm/internal/config"
 	"silcfm/internal/harness"
+	"silcfm/internal/manifest"
 	"silcfm/internal/stats"
 	"silcfm/internal/telemetry"
 )
+
+// outFiles records every per-run output file the telemetry layer creates,
+// so the summary can cross-link them by relative path.
+type outFiles struct {
+	mu   sync.Mutex
+	byID map[string]map[string]string // "label/wl" -> kind -> relative path
+}
+
+func (o *outFiles) add(label, wl, kind, path string) {
+	if rel, err := filepath.Rel(".", path); err == nil {
+		path = rel
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.byID == nil {
+		o.byID = map[string]map[string]string{}
+	}
+	id := label + "/" + wl
+	if o.byID[id] == nil {
+		o.byID[id] = map[string]string{}
+	}
+	o.byID[id][kind] = path
+}
+
+// table renders the recorded files as one row per run, one column per kind.
+func (o *outFiles) table(kinds []string) *stats.Table {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	t := &stats.Table{
+		Title:   "Per-run output files",
+		Columns: append([]string{"run"}, kinds...),
+	}
+	ids := make([]string, 0, len(o.byID))
+	for id := range o.byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		row := []string{id}
+		for _, k := range kinds {
+			p := o.byID[id][k]
+			if p == "" {
+				p = "-"
+			}
+			row = append(row, p)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
 
 func main() {
 	var (
@@ -41,9 +94,11 @@ func main() {
 		profileDir   = flag.String("profile-out", "", "write per-run hotness profiles into this directory as <label>_<workload>.profile.jsonl")
 		progress     = flag.Bool("progress", false, "print one line per completed run to stderr")
 		shadowOn     = flag.Bool("shadow", false, "run the continuous shadow-data integrity checker on every run (slower)")
+		manifestOut  = flag.String("manifest-out", "", "write a run manifest covering every table3/fig6/fig7 run to this file")
 	)
 	flag.Parse()
 
+	var files outFiles
 	m := config.Default()
 	if *seed != 0 {
 		m.Seed = *seed
@@ -74,15 +129,18 @@ func main() {
 			tc := &telemetry.Config{EpochCycles: *metricsEpoch, TraceLimit: *traceLimit}
 			name := label + "_" + wl
 			if *metricsDir != "" {
-				f, err := os.Create(filepath.Join(*metricsDir, name+".jsonl"))
+				path := filepath.Join(*metricsDir, name+".jsonl")
+				f, err := os.Create(path)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "silcfm-experiments:", err)
 					return nil
 				}
 				tc.MetricsW = f
+				files.add(label, wl, "metrics", path)
 			}
 			if *traceDir != "" {
-				f, err := os.Create(filepath.Join(*traceDir, name+".json"))
+				path := filepath.Join(*traceDir, name+".json")
+				f, err := os.Create(path)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "silcfm-experiments:", err)
 					if c, ok := tc.MetricsW.(*os.File); ok {
@@ -91,9 +149,11 @@ func main() {
 					return nil
 				}
 				tc.TraceW = f
+				files.add(label, wl, "trace", path)
 			}
 			if *profileDir != "" {
-				f, err := os.Create(filepath.Join(*profileDir, name+".profile.jsonl"))
+				path := filepath.Join(*profileDir, name+".profile.jsonl")
+				f, err := os.Create(path)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "silcfm-experiments:", err)
 					for _, w := range []any{tc.MetricsW, tc.TraceW} {
@@ -104,6 +164,7 @@ func main() {
 					return nil
 				}
 				tc.ProfileW = f
+				files.add(label, wl, "profile", path)
 			}
 			return tc
 		}
@@ -128,14 +189,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(t0).Round(time.Second))
 	}
 
+	man := manifest.New("silcfm-experiments", "")
+	addSweep := func(figure string, sw *harness.SweepResult) {
+		if *manifestOut == "" || sw == nil {
+			return
+		}
+		for wl, r := range sw.Baseline {
+			man.Add(manifest.FromResult(figure+"/baseline/"+wl, r))
+		}
+		for label, runs := range sw.Runs {
+			for wl, r := range runs {
+				man.Add(manifest.FromResult(figure+"/"+label+"/"+wl, r))
+			}
+		}
+	}
+
 	sel := strings.ToLower(*which)
 	all := sel == "all"
 
 	if all || sel == "table3" {
 		timed("table3", func() {
-			t, _, err := harness.TableIII(cfg)
+			t, runs, err := harness.TableIII(cfg)
 			fail("table3", err)
 			emit(t)
+			if *manifestOut != "" {
+				for wl, r := range runs {
+					man.Add(manifest.FromResult("table3/base/"+wl, r))
+				}
+			}
 		})
 	}
 
@@ -147,7 +228,9 @@ func main() {
 			f6 = sw
 			if all || sel == "fig6" {
 				emit(t)
+				fmt.Println(sw.WallFooter())
 			}
+			addSweep("fig6", sw)
 		})
 	}
 	if all || sel == "fig7" || sel == "fig8" || sel == "headline" {
@@ -157,7 +240,9 @@ func main() {
 			f7 = sw
 			if all || sel == "fig7" {
 				emit(t)
+				fmt.Println(sw.WallFooter())
 			}
+			addSweep("fig7", sw)
 		})
 	}
 	if all || sel == "fig8" {
@@ -174,5 +259,23 @@ func main() {
 		h := harness.ComputeHeadline(f6, f7)
 		fmt.Println("Headline numbers (paper abstract):")
 		fmt.Println(h.String())
+	}
+
+	if *manifestOut != "" {
+		if err := man.WriteFile(*manifestOut); err != nil {
+			fmt.Fprintln(os.Stderr, "silcfm-experiments:", err)
+			os.Exit(1)
+		}
+		if rel, err := filepath.Rel(".", *manifestOut); err == nil {
+			fmt.Printf("\nmanifest:           %s (%d entries)\n", rel, len(man.Entries))
+		} else {
+			fmt.Printf("\nmanifest:           %s (%d entries)\n", *manifestOut, len(man.Entries))
+		}
+	}
+	// Cross-link the per-run output files so offender/profile/metrics
+	// artifacts are discoverable from the summary itself.
+	if len(files.byID) > 0 {
+		fmt.Println()
+		fmt.Println(files.table([]string{"metrics", "trace", "profile"}))
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"silcfm"
+	"silcfm/internal/manifest"
 )
 
 func main() {
@@ -47,6 +48,9 @@ func main() {
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulator process to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile of the simulator process to this file")
+
+		jsonOut     = flag.Bool("json", false, "emit the report as canonical JSON instead of text")
+		manifestOut = flag.String("manifest-out", "", "write a run manifest to this file (with -compare, both legs)")
 	)
 	flag.Parse()
 
@@ -123,16 +127,19 @@ func main() {
 		opts.SILC = &f
 	}
 
-	r, err := silcfm.Run(opts)
+	wlLabel := *wl
+	if wlLabel == "" {
+		wlLabel = "trace"
+	}
+	r, entry, err := silcfm.RunEntry(opts, string(opts.Scheme)+"/"+wlLabel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "silcfm-sim:", err)
 		os.Exit(1)
 	}
-	printReport(r)
-	if *shadowOn {
-		fmt.Println("shadow check:       passed")
-	}
+	man := manifest.New("silcfm-sim", "")
+	man.Add(*entry)
 
+	var base *silcfm.Report
 	if *compare {
 		b := opts
 		b.Scheme = silcfm.Baseline
@@ -143,15 +150,64 @@ func main() {
 		b.ShadowCheck = false
 		b.MetricsOut, b.TraceOut, b.ProgressOut = "", "", nil
 		b.ProfileOut, b.ProfileTopK = "", 0
-		base, err := silcfm.Run(b)
+		var bentry *manifest.Entry
+		base, bentry, err = silcfm.RunEntry(b, "base/"+wlLabel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "silcfm-sim: baseline:", err)
 			os.Exit(1)
 		}
+		man.Add(*bentry)
+	}
+
+	if *manifestOut != "" {
+		if err := man.WriteFile(*manifestOut); err != nil {
+			fmt.Fprintln(os.Stderr, "silcfm-sim:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		printJSON(r, base, *shadowOn)
+		return
+	}
+	printReport(r)
+	if *shadowOn {
+		fmt.Println("shadow check:       passed")
+	}
+	if base != nil {
 		fmt.Printf("\nbaseline cycles:    %d\n", base.Cycles)
+		fmt.Printf("baseline wall:      %.3f s  (%.1f Mcycles/s)\n",
+			base.WallSeconds, base.SimCyclesPerSec/1e6)
 		fmt.Printf("speedup:            %.3f\n", r.SpeedupOver(base))
 		fmt.Printf("EDP vs baseline:    %.3f\n", r.EDP/base.EDP)
 	}
+}
+
+// printJSON emits the run (and the -compare baseline leg) as one canonical
+// JSON object on stdout.
+func printJSON(r, base *silcfm.Report, shadow bool) {
+	out := struct {
+		Run         *silcfm.Report `json:"run"`
+		Baseline    *silcfm.Report `json:"baseline,omitempty"`
+		Speedup     float64        `json:"speedup,omitempty"`
+		EDPRatio    float64        `json:"edp_ratio,omitempty"`
+		ShadowCheck string         `json:"shadow_check,omitempty"`
+	}{Run: r, Baseline: base}
+	if base != nil {
+		out.Speedup = r.SpeedupOver(base)
+		if base.EDP > 0 {
+			out.EDPRatio = r.EDP / base.EDP
+		}
+	}
+	if shadow {
+		out.ShadowCheck = "passed"
+	}
+	b, err := manifest.Canonical(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silcfm-sim:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(b)
 }
 
 func printReport(r *silcfm.Report) {
@@ -174,6 +230,8 @@ func printReport(r *silcfm.Report) {
 	if r.Migrations > 0 {
 		fmt.Printf("migrations:         %d\n", r.Migrations)
 	}
+	fmt.Printf("wall time:          %.3f s  (%.1f Mcycles/s)\n",
+		r.WallSeconds, r.SimCyclesPerSec/1e6)
 	for _, p := range r.DemandLatency {
 		fmt.Printf("latency %-11s n=%-9d mean=%-8.1f p50=%-6d p95=%-6d p99=%d\n",
 			p.Path+":", p.Count, p.Mean, p.P50, p.P95, p.P99)

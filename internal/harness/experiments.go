@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"sync"
+	"time"
 
 	"silcfm/internal/config"
 	"silcfm/internal/stats"
@@ -95,6 +97,46 @@ type SweepResult struct {
 	Runs map[string]map[string]*Result
 	// Baseline[workload] is the system-without-NM run.
 	Baseline map[string]*Result
+	// WallSeconds is the host wall-clock time of the whole sweep
+	// (parallel legs overlap, so it is less than the per-leg sum).
+	WallSeconds float64
+}
+
+// WallFooter renders host-side cost per sweep leg: each variant's summed
+// wall time over its workloads and its aggregate simulation throughput
+// (total simulated cycles per host second spent in the event loop).
+func (s *SweepResult) WallFooter() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wall clock: sweep %.1fs", s.WallSeconds)
+	legs := append([]string{"baseline"}, variantLabels(s.Variants)...)
+	for _, label := range legs {
+		runs := s.Runs[label]
+		if label == "baseline" {
+			runs = s.Baseline
+		}
+		var wall, loop float64
+		var cycles uint64
+		for _, wl := range s.Cfg.workloads() {
+			r := runs[wl]
+			if r == nil {
+				continue
+			}
+			wall += r.WallSeconds
+			cycles += r.Cycles
+			if r.SimCyclesPerSec > 0 {
+				loop += float64(r.Cycles) / r.SimCyclesPerSec
+			}
+		}
+		if wall == 0 {
+			continue
+		}
+		tput := 0.0
+		if loop > 0 {
+			tput = float64(cycles) / loop
+		}
+		fmt.Fprintf(&b, "; %s %.1fs @ %.1f Mcyc/s", label, wall, tput/1e6)
+	}
+	return b.String()
 }
 
 // Speedup returns a variant's speedup over the baseline for one workload.
@@ -118,6 +160,7 @@ func (s *SweepResult) GeoMeanSpeedup(label string) float64 {
 
 // Sweep runs every (variant, workload) pair plus baselines, in parallel.
 func Sweep(cfg ExpConfig, variants []Variant) (*SweepResult, error) {
+	sweepStart := time.Now()
 	type job struct {
 		label string
 		wl    string
@@ -213,6 +256,7 @@ func Sweep(cfg ExpConfig, variants []Variant) (*SweepResult, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	res.WallSeconds = time.Since(sweepStart).Seconds()
 	return res, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"silcfm/internal/config"
 	"silcfm/internal/core"
@@ -79,6 +80,15 @@ type Result struct {
 	ConservationErr error
 	// Profile is the hotness profiler, when Spec.Telemetry requested one.
 	Profile *telemetry.Profiler
+	// Spec is the effective spec this run executed (InstrPerCore defaulted,
+	// Telemetry cleared), for manifest fingerprinting.
+	Spec Spec
+	// WallSeconds is host wall-clock time of the whole run, setup and
+	// audits included. Host-dependent: never compare exactly.
+	WallSeconds float64
+	// SimCyclesPerSec is simulated cycles per host second of the event
+	// loop alone — the simulator's throughput figure of merit.
+	SimCyclesPerSec float64
 }
 
 // placementFor returns the first-touch allocation policy each scheme
@@ -122,6 +132,7 @@ func NewController(m config.Machine, sys *mem.System) (mem.Controller, error) {
 
 // Run executes one simulation to completion.
 func Run(spec Spec) (*Result, error) {
+	wallStart := time.Now()
 	m := spec.Machine
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -129,6 +140,11 @@ func Run(spec Spec) (*Result, error) {
 	if spec.InstrPerCore == 0 {
 		spec.InstrPerCore = 1 << 20
 	}
+	// Capture the effective spec before workload-class scaling mutates
+	// InstrPerCore: the manifest fingerprint hashes the declared run, and
+	// the Telemetry pointer must not outlive its writers.
+	manifestSpec := spec
+	manifestSpec.Telemetry = nil
 
 	gens := make([]workload.Generator, m.Cores)
 	targets := make([]uint64, m.Cores)
@@ -237,7 +253,9 @@ func Run(spec Spec) (*Result, error) {
 	})
 	cx.Start()
 	tel.Start()
+	loopStart := time.Now()
 	eng.RunWhile(func() bool { return !cx.AllDone() })
+	loopSeconds := time.Since(loopStart).Seconds()
 	if !cx.AllDone() {
 		return nil, fmt.Errorf("harness: simulation deadlocked at cycle %d", eng.Now())
 	}
@@ -246,6 +264,7 @@ func Run(spec Spec) (*Result, error) {
 	}
 
 	res := &Result{}
+	res.Spec = manifestSpec
 	res.Workload = wlLabel
 	res.Scheme = ctl.Name()
 	res.Cycles = cx.ExecutionCycles()
@@ -284,6 +303,10 @@ func Run(spec Spec) (*Result, error) {
 	// (non-quiesced) invariants apply here; the stress driver runs the
 	// strict quiesced form after a full drain.
 	res.ConservationErr = stats.CheckConservation(sys.Conservation(false, extraNM...))
+	res.WallSeconds = time.Since(wallStart).Seconds()
+	if loopSeconds > 0 {
+		res.SimCyclesPerSec = float64(res.Cycles) / loopSeconds
+	}
 	return res, nil
 }
 

@@ -1,0 +1,268 @@
+package manifest
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"silcfm/internal/stats"
+)
+
+// DiffOptions tunes Compare.
+type DiffOptions struct {
+	// Noise is the relative band (e.g. 0.10 for ±10%) within which
+	// host-timing metrics may drift without counting as a breach. 0 skips
+	// host comparison entirely — the right setting when the two manifests
+	// come from different machines (e.g. CI vs. the committed baseline).
+	Noise float64
+	// Subset allows entries present in the old manifest but absent from the
+	// new one (a -short rerun of a full suite). Entries present only in the
+	// new manifest always fail: a baseline must be refreshed deliberately.
+	Subset bool
+}
+
+// Diff is the verdict of comparing two manifests.
+type Diff struct {
+	// Table lists every deterministic mismatch, every host-metric
+	// comparison, and every entry-coverage problem, worst first.
+	Table *stats.Table
+	// DeterministicFails counts config/sim leaves that differ — each one is
+	// a correctness or behavior regression (or an uncommitted baseline).
+	DeterministicFails int
+	// HostBreaches counts host metrics outside the noise band.
+	HostBreaches int
+	// EntriesCompared counts entries present in both manifests.
+	EntriesCompared int
+	// Uncovered lists old entries the new manifest did not rerun (only
+	// tolerated with Subset).
+	Uncovered []string
+}
+
+// OK reports whether the new manifest passes against the old.
+func (d *Diff) OK() bool { return d.DeterministicFails == 0 && d.HostBreaches == 0 }
+
+// Summary is the one-line verdict.
+func (d *Diff) Summary() string {
+	verdict := "PASS"
+	if !d.OK() {
+		verdict = "FAIL"
+	}
+	s := fmt.Sprintf("%s: %d entries compared, %d deterministic mismatches, %d host-timing breaches",
+		verdict, d.EntriesCompared, d.DeterministicFails, d.HostBreaches)
+	if len(d.Uncovered) > 0 {
+		s += fmt.Sprintf(" (%d baseline entries not rerun)", len(d.Uncovered))
+	}
+	return s
+}
+
+// Compare diffs new against old. Deterministic leaves (everything under an
+// entry's "config" and "sim" keys) must match exactly; host leaves are
+// compared within opt.Noise.
+func Compare(old, new *Manifest, opt DiffOptions) (*Diff, error) {
+	d := &Diff{Table: &stats.Table{
+		Title:   "Manifest diff (deterministic: exact; host: ±noise band)",
+		Columns: []string{"entry", "metric", "old", "new", "delta", "verdict"},
+	}}
+
+	oldByID := entriesByID(old)
+	newByID := entriesByID(new)
+
+	for _, id := range sortedIDs(newByID) {
+		if _, ok := oldByID[id]; !ok {
+			d.DeterministicFails++
+			d.Table.AddRow(id, "(entry)", "absent", "present", "", "FAIL new entry without baseline")
+		}
+	}
+	for _, id := range sortedIDs(oldByID) {
+		ne, ok := newByID[id]
+		if !ok {
+			d.Uncovered = append(d.Uncovered, id)
+			if !opt.Subset {
+				d.DeterministicFails++
+				d.Table.AddRow(id, "(entry)", "present", "absent", "", "FAIL entry missing from new manifest")
+			}
+			continue
+		}
+		oe := oldByID[id]
+		d.EntriesCompared++
+		if err := d.compareEntry(id, oe, ne, opt); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func (d *Diff) compareEntry(id string, oe, ne Entry, opt DiffOptions) error {
+	// A fingerprint mismatch means the two entries simulated different
+	// machines; every sim counter would differ for a structural reason, so
+	// report the one root cause instead of hundreds of symptoms.
+	if oe.Config.Fingerprint != ne.Config.Fingerprint {
+		d.DeterministicFails++
+		d.Table.AddRow(id, "config.fingerprint", oe.Config.Fingerprint, ne.Config.Fingerprint,
+			"", "FAIL config changed; refresh the baseline")
+		return nil
+	}
+
+	oldLeaves, err := leaves(struct {
+		Config Config `json:"config"`
+		Sim    Sim    `json:"sim"`
+	}{oe.Config, oe.Sim})
+	if err != nil {
+		return err
+	}
+	newLeaves, err := leaves(struct {
+		Config Config `json:"config"`
+		Sim    Sim    `json:"sim"`
+	}{ne.Config, ne.Sim})
+	if err != nil {
+		return err
+	}
+	for _, k := range unionKeys(oldLeaves, newLeaves) {
+		ov, oOK := oldLeaves[k]
+		nv, nOK := newLeaves[k]
+		switch {
+		case !oOK:
+			d.DeterministicFails++
+			d.Table.AddRow(id, k, "-", nv, "", "FAIL field added")
+		case !nOK:
+			d.DeterministicFails++
+			d.Table.AddRow(id, k, ov, "-", "", "FAIL field removed")
+		case ov != nv:
+			d.DeterministicFails++
+			d.Table.AddRow(id, k, ov, nv, deltaStr(ov, nv), "FAIL deterministic mismatch")
+		}
+	}
+
+	if opt.Noise <= 0 {
+		return nil
+	}
+	for _, h := range []struct {
+		name     string
+		old, new float64
+		// lowerOnly breaches only when the new value is worse (slower /
+		// bigger); getting faster or leaner is never a regression.
+		worseIsHigher bool
+	}{
+		{"host.wall_seconds", oe.Host.WallSeconds, ne.Host.WallSeconds, true},
+		{"host.sim_cycles_per_sec", oe.Host.SimCyclesPerSec, ne.Host.SimCyclesPerSec, false},
+		{"host.alloc_objects", float64(oe.Host.AllocObjects), float64(ne.Host.AllocObjects), true},
+		{"host.alloc_bytes", float64(oe.Host.AllocBytes), float64(ne.Host.AllocBytes), true},
+	} {
+		if h.old == 0 && h.new == 0 {
+			continue
+		}
+		verdict, rel := "ok", 0.0
+		if h.old > 0 {
+			rel = h.new/h.old - 1
+			breach := rel > opt.Noise
+			if !h.worseIsHigher {
+				breach = rel < -opt.Noise
+			}
+			if breach {
+				verdict = fmt.Sprintf("FAIL outside ±%.0f%% band", opt.Noise*100)
+				d.HostBreaches++
+			}
+		}
+		d.Table.AddRow(id, h.name,
+			trimFloat(h.old), trimFloat(h.new),
+			fmt.Sprintf("%+.1f%%", rel*100), verdict)
+	}
+	return nil
+}
+
+func entriesByID(m *Manifest) map[string]Entry {
+	out := make(map[string]Entry, len(m.Entries))
+	for _, e := range m.Entries {
+		out[e.ID] = e
+	}
+	return out
+}
+
+func sortedIDs(m map[string]Entry) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// leaves flattens v's JSON form into dotted-path -> literal-text pairs
+// (array indices become path segments). Numbers keep their exact JSON text
+// via json.Number, so comparison never loses uint64 precision.
+func leaves(v any) (map[string]string, error) {
+	b, err := Canonical(v)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.UseNumber()
+	var tree any
+	if err := dec.Decode(&tree); err != nil {
+		return nil, fmt.Errorf("manifest: flatten: %w", err)
+	}
+	out := map[string]string{}
+	flatten("", tree, out)
+	return out, nil
+}
+
+func flatten(prefix string, v any, out map[string]string) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, c := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, c, out)
+		}
+	case []any:
+		for i, c := range t {
+			flatten(fmt.Sprintf("%s[%d]", prefix, i), c, out)
+		}
+	case json.Number:
+		out[prefix] = t.String()
+	case string:
+		out[prefix] = t
+	case bool:
+		out[prefix] = strconv.FormatBool(t)
+	case nil:
+		out[prefix] = "null"
+	}
+}
+
+// deltaStr renders a relative delta when both leaves parse as numbers.
+func deltaStr(a, b string) string {
+	fa, errA := strconv.ParseFloat(a, 64)
+	fb, errB := strconv.ParseFloat(b, 64)
+	if errA != nil || errB != nil || fa == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%+.2f%%", (fb/fa-1)*100)
+}
+
+func unionKeys(a, b map[string]string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		seen[k] = true
+	}
+	for k := range b {
+		seen[k] = true
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func trimFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatFloat(f, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(f, 'g', 6, 64)
+}

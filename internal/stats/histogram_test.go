@@ -1,0 +1,113 @@
+package stats
+
+import "testing"
+
+// These tests pin down the Histogram edge behavior the manifest summaries
+// (count/sum/max plus percentile bounds) rely on: empty histograms, the
+// single-bucket degenerate case, overflow-bucket clamping, zero bucket
+// width, and the p0/p100 extremes.
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(16, 8)
+	if got := h.Percentile(50); got != 0 {
+		t.Errorf("empty p50 = %d, want 0", got)
+	}
+	if got := h.Percentile(100); got != 0 {
+		t.Errorf("empty p100 = %d, want 0", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Errorf("empty mean = %v, want 0", got)
+	}
+	if h.N != 0 || h.Sum != 0 || h.Max != 0 {
+		t.Errorf("empty histogram has state: %+v", h)
+	}
+}
+
+func TestHistogramSingleBucketClampsEverything(t *testing.T) {
+	// One bucket: every sample clamps into it, and every percentile falls
+	// back to the observed Max once samples exceed the bucket edge.
+	h := NewHistogram(10, 1)
+	for _, v := range []uint64{1, 5, 9, 1000} {
+		h.Add(v)
+	}
+	if h.N != 4 || h.Sum != 1015 || h.Max != 1000 {
+		t.Fatalf("counts wrong: %+v", h)
+	}
+	if h.Counts[0] != 4 {
+		t.Fatalf("all samples must clamp into the only bucket: %v", h.Counts)
+	}
+	for _, p := range []float64{50, 95, 100} {
+		if got := h.Percentile(p); got != 1000 {
+			t.Errorf("p%.0f = %d, want observed max 1000", p, got)
+		}
+	}
+}
+
+func TestHistogramOverflowBucketUsesObservedMax(t *testing.T) {
+	// Samples beyond the last bucket clamp into it; the percentile bound
+	// for that bucket must be the observed Max, not the nominal edge.
+	h := NewHistogram(10, 4) // buckets cover [0,40); overflow clamps at 3
+	h.Add(5)
+	h.Add(500)
+	if h.Counts[3] != 1 {
+		t.Fatalf("500 must clamp into the overflow bucket: %v", h.Counts)
+	}
+	if got := h.Percentile(50); got != 10 {
+		t.Errorf("p50 = %d, want 10 (edge of first bucket)", got)
+	}
+	if got := h.Percentile(100); got != 500 {
+		t.Errorf("p100 = %d, want observed max 500", got)
+	}
+	// When the overflow bucket holds nothing above its edge, the nominal
+	// edge stands.
+	h2 := NewHistogram(10, 4)
+	h2.Add(35)
+	if got := h2.Percentile(100); got != 40 {
+		t.Errorf("in-range overflow sample: p100 = %d, want nominal edge 40", got)
+	}
+}
+
+func TestHistogramZeroWidthActsAsWidthOne(t *testing.T) {
+	// A zero-valued Histogram (BucketWidth 0) must not divide by zero; it
+	// behaves as width 1.
+	h := Histogram{Counts: make([]uint64, 4)}
+	h.Add(2)
+	if h.Counts[2] != 1 {
+		t.Fatalf("zero-width add landed wrong: %v", h.Counts)
+	}
+	if got := h.Percentile(100); got != 3 {
+		t.Errorf("p100 = %d, want 3 (upper edge of bucket 2 at width 1)", got)
+	}
+}
+
+func TestHistogramPercentileExtremes(t *testing.T) {
+	h := NewHistogram(1, 100)
+	for v := uint64(10); v < 20; v++ {
+		h.Add(v)
+	}
+	// p0 needs zero samples, so it resolves at the first bucket regardless
+	// of occupancy: the lowest bound the histogram can state.
+	if got := h.Percentile(0); got != 1 {
+		t.Errorf("p0 = %d, want 1 (edge of first bucket)", got)
+	}
+	// The smallest positive percentile needs one sample.
+	if got := h.Percentile(0.0001); got != 11 {
+		t.Errorf("p0.0001 = %d, want 11 (edge of first occupied bucket)", got)
+	}
+	if got := h.Percentile(100); got != 20 {
+		t.Errorf("p100 = %d, want 20", got)
+	}
+}
+
+func TestHistogramNoBuckets(t *testing.T) {
+	// Counts=nil histograms still track N/Sum/Max (used by the exact
+	// manifest fields) without panicking.
+	h := &Histogram{BucketWidth: 4}
+	h.Add(100)
+	if h.N != 1 || h.Sum != 100 || h.Max != 100 {
+		t.Fatalf("bucketless histogram state: %+v", h)
+	}
+	if got := h.Percentile(50); got != 100 {
+		t.Errorf("bucketless p50 = %d, want Max fallback 100", got)
+	}
+}

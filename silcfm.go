@@ -26,6 +26,7 @@ import (
 
 	"silcfm/internal/config"
 	"silcfm/internal/harness"
+	"silcfm/internal/manifest"
 	"silcfm/internal/stats"
 	"silcfm/internal/telemetry"
 	"silcfm/internal/workload"
@@ -164,67 +165,81 @@ type Options struct {
 	Seed int64
 }
 
-// Report is the outcome of one simulation.
+// Report is the outcome of one simulation. The json tags define the schema
+// of silcfm-sim's -json output (rendered with the manifest package's
+// canonical encoder).
 type Report struct {
-	Workload string
-	Scheme   string
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
 
-	Cycles       uint64 // rate-mode execution time in CPU cycles
-	Instructions uint64 // total retired over all cores
+	Cycles       uint64 `json:"cycles"`       // rate-mode execution time in CPU cycles
+	Instructions uint64 `json:"instructions"` // total retired over all cores
 
-	AvgMPKI           float64 // per-core LLC misses per kilo-instruction
-	AccessRate        float64 // paper Eq. 1: fraction of misses serviced by NM
-	NMDemandFraction  float64 // Figure 8 metric
-	MigrationOverhead float64 // migration+metadata bytes per demand byte
+	AvgMPKI           float64 `json:"avg_mpki"`           // per-core LLC misses per kilo-instruction
+	AccessRate        float64 `json:"access_rate"`        // paper Eq. 1: fraction of misses serviced by NM
+	NMDemandFraction  float64 `json:"nm_demand_fraction"` // Figure 8 metric
+	MigrationOverhead float64 `json:"migration_overhead"` // migration+metadata bytes per demand byte
 
-	EnergyNJ float64
-	EDP      float64 // energy-delay product (nJ x cycles)
+	EnergyNJ float64 `json:"energy_nj"`
+	EDP      float64 `json:"edp"` // energy-delay product (nJ x cycles)
 
-	FootprintBytes uint64 // unique pages touched x 2 KB
+	FootprintBytes uint64 `json:"footprint_bytes"` // unique pages touched x 2 KB
 
-	Locks, Unlocks    uint64
-	Migrations        uint64
-	SwapsIn, SwapsOut uint64
-	BypassedAccesses  uint64
-	PredictorAccuracy float64
+	Locks             uint64  `json:"locks"`
+	Unlocks           uint64  `json:"unlocks"`
+	Migrations        uint64  `json:"migrations"`
+	SwapsIn           uint64  `json:"swaps_in"`
+	SwapsOut          uint64  `json:"swaps_out"`
+	BypassedAccesses  uint64  `json:"bypassed_accesses"`
+	PredictorAccuracy float64 `json:"predictor_accuracy"`
 
 	// DemandLatency breaks demand-completion latency down by service path
 	// (NM hit, FM, swap critical path, bypass, predictor mispredict);
 	// empty paths are omitted.
-	DemandLatency []PathLatency
+	DemandLatency []PathLatency `json:"demand_latency,omitempty"`
 
 	// Attribution decomposes each path's total demand latency into named
 	// spans (queue, device service, metadata fetch, swap serialization,
 	// mispredict retry, other). For every path the span total equals the
 	// DemandLatency sum exactly — verified by the counter-conservation
 	// audit at end of run. Empty paths are omitted.
-	Attribution []PathSpans
+	Attribution []PathSpans `json:"attribution,omitempty"`
 
 	// TopOffenders is the rendered hottest-blocks / hottest-PCs tables when
 	// Options.ProfileTopK was set.
-	TopOffenders string
+	TopOffenders string `json:"top_offenders,omitempty"`
+
+	// WallSeconds is the host wall-clock time of the whole run, and
+	// SimCyclesPerSec the simulated-cycles-per-host-second throughput of
+	// the event loop. Both are host-dependent (never byte-deterministic);
+	// manifests carry them under the noise-banded "host" section.
+	WallSeconds     float64 `json:"wall_seconds"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
 }
 
 // PathSpans is one service path's latency attribution, in cycles summed
 // over all completions on that path.
 type PathSpans struct {
-	Path       string
-	Count      uint64
-	Total      uint64
-	Queue      uint64
-	Service    uint64
-	MetaFetch  uint64
-	SwapSerial uint64
-	Mispredict uint64
-	Other      uint64
+	Path       string `json:"path"`
+	Count      uint64 `json:"count"`
+	Total      uint64 `json:"total"`
+	Queue      uint64 `json:"queue"`
+	Service    uint64 `json:"service"`
+	MetaFetch  uint64 `json:"meta_fetch"`
+	SwapSerial uint64 `json:"swap_serial"`
+	Mispredict uint64 `json:"mispredict"`
+	Other      uint64 `json:"other"`
 }
 
 // PathLatency summarizes one service path's demand latency distribution.
 type PathLatency struct {
-	Path          string
-	Count         uint64
-	Mean          float64
-	P50, P95, P99 uint64 // cycles (bucket upper bounds)
+	Path  string  `json:"path"`
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	// P50/P95/P99 are percentile bounds in cycles (bucket upper edges).
+	P50 uint64 `json:"p50"`
+	P95 uint64 `json:"p95"`
+	P99 uint64 `json:"p99"`
 }
 
 // SpeedupOver returns base.Cycles / r.Cycles, the paper's figure of merit.
@@ -292,6 +307,27 @@ func (o Options) machine() (config.Machine, error) {
 
 // Run executes one simulation to completion and reduces its statistics.
 func Run(o Options) (*Report, error) {
+	res, err := runResult(o)
+	if err != nil {
+		return nil, err
+	}
+	return reportOf(res, o.ProfileTopK), nil
+}
+
+// RunEntry executes one simulation and returns both the reduced Report and
+// the run-manifest entry capturing its complete counter state, under the
+// given entry ID (conventionally "<scheme>/<workload>").
+func RunEntry(o Options, id string) (*Report, *manifest.Entry, error) {
+	res, err := runResult(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := manifest.FromResult(id, res)
+	return reportOf(res, o.ProfileTopK), &e, nil
+}
+
+// runResult runs the simulation and enforces the end-of-run audits.
+func runResult(o Options) (*harness.Result, error) {
 	m, err := o.machine()
 	if err != nil {
 		return nil, err
@@ -334,7 +370,7 @@ func Run(o Options) (*Report, error) {
 	if res.ConservationErr != nil {
 		return nil, fmt.Errorf("silcfm: counter-conservation audit failed: %w", res.ConservationErr)
 	}
-	return reportOf(res, o.ProfileTopK), nil
+	return res, nil
 }
 
 // telemetryConfig opens the requested telemetry outputs. cleanup closes
@@ -419,6 +455,8 @@ func reportOf(res *harness.Result, topK int) *Report {
 		PredictorAccuracy: res.Mem.PredictorAccuracy(),
 		DemandLatency:     pathLatencies(res),
 		Attribution:       pathSpans(res),
+		WallSeconds:       res.WallSeconds,
+		SimCyclesPerSec:   res.SimCyclesPerSec,
 	}
 	if topK > 0 && res.Profile != nil {
 		r.TopOffenders = res.Profile.TopOffenders(topK)
