@@ -1,9 +1,11 @@
 #!/bin/sh
-# Local CI gate: formatting, vet, build, bench-smoke regression diff, and
-# the test suite under the race detector. Run from the repo root.
+# Local CI gate: formatting, vet, build, bench-smoke regression diff,
+# live-observability endpoint checks, and the test suite under the race
+# detector. Run from the repo root.
 #
 #   ./ci.sh          # everything
 #   ./ci.sh bench    # only the bench-smoke + manifest-diff stage
+#   ./ci.sh live     # only the live-server endpoint + inertness stage
 set -eu
 
 # Bench-smoke stage: rerun the short manifest suite and diff its
@@ -14,11 +16,56 @@ set -eu
 bench_smoke() {
 	go build -o /tmp/silcfm-bench ./cmd/silcfm-bench
 	/tmp/silcfm-bench -short -quiet -out /tmp/bench_smoke.json
-	/tmp/silcfm-bench -diff -subset -noise 0 BENCH_PR4.json /tmp/bench_smoke.json
+	/tmp/silcfm-bench -diff -subset -noise 0 BENCH_PR5.json /tmp/bench_smoke.json
+}
+
+# Live-observability stage: run a short simulation with the embedded HTTP
+# server, validate /metrics, /healthz and /progress while it lingers, then
+# rerun the identical simulation with no server and assert every
+# deterministic counter (incidents included) is byte-identical — the
+# observability layer must be provably inert.
+live_smoke() {
+	go build -o /tmp/silcfm-bench ./cmd/silcfm-bench
+	go build -o /tmp/silcfm-sim ./cmd/silcfm-sim
+	go build -o /tmp/livecheck ./internal/tools/livecheck
+	rm -f /tmp/live_on.json /tmp/live_stderr.log
+	/tmp/silcfm-sim -workload milc -instr 100000 -scale-instr=false \
+		-nm 8 -fm 32 -footscale 16 \
+		-listen 127.0.0.1:0 -listen-linger 60s \
+		-manifest-out /tmp/live_on.json >/dev/null 2>/tmp/live_stderr.log &
+	sim_pid=$!
+	trap 'kill $sim_pid 2>/dev/null || true' EXIT
+	# The sim announces "live: http://ADDR" on stderr at startup and writes
+	# the manifest when the run completes (the server then lingers).
+	url=""
+	for _ in $(seq 1 300); do
+		url=$(sed -n 's/^live: //p' /tmp/live_stderr.log 2>/dev/null | head -1)
+		[ -n "$url" ] && [ -s /tmp/live_on.json ] && break
+		url=""
+		sleep 0.1
+	done
+	if [ -z "$url" ]; then
+		echo "live_smoke: server never came up or run never finished" >&2
+		cat /tmp/live_stderr.log >&2
+		exit 1
+	fi
+	/tmp/livecheck "$url"
+	kill $sim_pid 2>/dev/null || true
+	wait $sim_pid 2>/dev/null || true
+	trap - EXIT
+	# No-server leg: identical flags minus -listen.
+	/tmp/silcfm-sim -workload milc -instr 100000 -scale-instr=false \
+		-nm 8 -fm 32 -footscale 16 \
+		-manifest-out /tmp/live_off.json >/dev/null
+	/tmp/silcfm-bench -diff -noise 0 /tmp/live_off.json /tmp/live_on.json
 }
 
 if [ "${1:-}" = "bench" ]; then
 	bench_smoke
+	exit 0
+fi
+if [ "${1:-}" = "live" ]; then
+	live_smoke
 	exit 0
 fi
 
@@ -30,14 +77,17 @@ if [ -n "$fmt" ]; then
 fi
 
 # Fast-fail stage: the observability packages (stats counters, memory-system
-# attribution, manifest encoding, telemetry writers) gate everything
-# downstream and their tests are quick — vet and race-test them first so
-# broken instrumentation fails in seconds, not after the full sweep-driven
-# suite.
-go vet ./internal/stats ./internal/mem ./internal/telemetry ./internal/manifest
-go test -race ./internal/stats ./internal/mem ./internal/telemetry ./internal/manifest
+# attribution, manifest encoding, telemetry writers, health detector, live
+# server) gate everything downstream and their tests are quick — vet and
+# race-test them first so broken instrumentation fails in seconds, not after
+# the full sweep-driven suite.
+go vet ./internal/stats ./internal/mem ./internal/telemetry ./internal/manifest \
+	./internal/health ./internal/telemetry/live
+go test -race ./internal/stats ./internal/mem ./internal/telemetry ./internal/manifest \
+	./internal/health ./internal/telemetry/live
 
 go vet ./...
 go build ./...
 bench_smoke
+live_smoke
 go test -race ./...

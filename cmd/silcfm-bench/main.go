@@ -28,6 +28,7 @@ import (
 	"silcfm/internal/harness"
 	"silcfm/internal/manifest"
 	"silcfm/internal/stats"
+	"silcfm/internal/telemetry/live"
 )
 
 // The suite mirrors bench_test.go's benchExp configuration: 4 cores,
@@ -61,6 +62,8 @@ func main() {
 		seed  = flag.Int64("seed", 0, "random seed (0 = default)")
 		quiet = flag.Bool("quiet", false, "suppress the per-cell progress and summary table")
 
+		listen = flag.String("listen", "", "serve live observability HTTP on this address (/metrics, /healthz, /progress, /debug/pprof)")
+
 		diff   = flag.Bool("diff", false, "diff mode: compare two manifests (old.json new.json)")
 		noise  = flag.Float64("noise", 0.10, "relative noise band for host-timing metrics (0 skips them)")
 		subset = flag.Bool("subset", false, "diff mode: allow baseline entries the new manifest did not rerun")
@@ -78,10 +81,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "silcfm-bench: unexpected arguments (did you mean -diff?):", flag.Args())
 		os.Exit(2)
 	}
-	os.Exit(runSuite(*out, *label, *short, *reps, *instr, *seed, *quiet))
+	var srv *live.Server
+	if *listen != "" {
+		var err error
+		if srv, err = live.New(*listen); err != nil {
+			fmt.Fprintln(os.Stderr, "silcfm-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "live:", srv.URL())
+	}
+	code := runSuite(*out, *label, *short, *reps, *instr, *seed, *quiet, srv)
+	if srv != nil {
+		srv.Close()
+	}
+	os.Exit(code)
 }
 
-func runSuite(out, label string, short bool, reps int, instr uint64, seed int64, quiet bool) int {
+func runSuite(out, label string, short bool, reps int, instr uint64, seed int64, quiet bool, srv *live.Server) int {
 	if reps < 1 {
 		reps = 1
 	}
@@ -114,7 +130,7 @@ func runSuite(out, label string, short bool, reps int, instr uint64, seed int64,
 				FootScaleDen:      8,
 			}
 			id := string(scheme) + "/" + wl
-			e, r, err := runCell(id, spec, reps)
+			e, r, err := runCell(id, spec, reps, srv)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "silcfm-bench: %s: %v\n", id, err)
 				return 1
@@ -152,14 +168,20 @@ func runSuite(out, label string, short bool, reps int, instr uint64, seed int64,
 // runCell executes one suite cell reps times and keeps the fastest rep's
 // host metrics (the deterministic sim metrics are identical across reps by
 // construction — that is the whole point of the manifest).
-func runCell(id string, spec harness.Spec, reps int) (*manifest.Entry, *harness.Result, error) {
+func runCell(id string, spec harness.Spec, reps int, srv *live.Server) (*manifest.Entry, *harness.Result, error) {
 	var best *manifest.Entry
 	var bestRes *harness.Result
 	for rep := 0; rep < reps; rep++ {
+		// Each rep republished under the same id: the server shows the
+		// latest, and Done stamps the final incident list.
+		spec.Publish = srv.Hook(id)
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		res, err := harness.Run(spec)
 		runtime.ReadMemStats(&after)
+		if res != nil {
+			srv.Done(id, res.Health)
+		}
 		if err != nil {
 			return nil, nil, err
 		}

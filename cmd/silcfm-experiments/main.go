@@ -26,6 +26,7 @@ import (
 	"silcfm/internal/manifest"
 	"silcfm/internal/stats"
 	"silcfm/internal/telemetry"
+	"silcfm/internal/telemetry/live"
 )
 
 // outFiles records every per-run output file the telemetry layer creates,
@@ -95,6 +96,7 @@ func main() {
 		progress     = flag.Bool("progress", false, "print one line per completed run to stderr")
 		shadowOn     = flag.Bool("shadow", false, "run the continuous shadow-data integrity checker on every run (slower)")
 		manifestOut  = flag.String("manifest-out", "", "write a run manifest covering every table3/fig6/fig7 run to this file")
+		listen       = flag.String("listen", "", "serve live observability HTTP on this address (/metrics, /healthz, /progress, /debug/pprof)")
 	)
 	flag.Parse()
 
@@ -114,6 +116,16 @@ func main() {
 	}
 	if *progress {
 		cfg.Progress = os.Stderr
+	}
+	if *listen != "" {
+		srv, err := live.New(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "silcfm-experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "live:", srv.URL())
+		cfg.Live = srv
+		defer srv.Close()
 	}
 	if *metricsDir != "" || *traceDir != "" || *profileDir != "" {
 		for _, dir := range []string{*metricsDir, *traceDir, *profileDir} {

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"silcfm"
 	"silcfm/internal/manifest"
@@ -45,6 +46,9 @@ func main() {
 		progress     = flag.Bool("progress", false, "print a progress line per metrics epoch to stderr")
 		profileOut   = flag.String("profile-out", "", "write the per-block/per-PC hotness profile to this file (JSONL)")
 		profileTopK  = flag.Int("profile-topk", 0, "print the K hottest blocks and PCs after the run (0 = off)")
+		healthOut    = flag.String("health-out", "", "write the run's health incidents to this file (JSONL)")
+		listen       = flag.String("listen", "", "serve live observability HTTP on this address (/metrics, /healthz, /progress, /debug/pprof)")
+		linger       = flag.Duration("listen-linger", 0, "keep the -listen server up this long after the run completes")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulator process to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile of the simulator process to this file")
@@ -114,10 +118,26 @@ func main() {
 		TraceLimit:        *traceLimit,
 		ProfileOut:        *profileOut,
 		ProfileTopK:       *profileTopK,
+		HealthOut:         *healthOut,
 		Seed:              *seed,
 	}
 	if *progress {
 		opts.ProgressOut = os.Stderr
+	}
+	if *listen != "" {
+		srv, err := silcfm.Serve(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "silcfm-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "live:", srv.URL())
+		opts.Live = srv
+		defer func() {
+			if *linger > 0 {
+				time.Sleep(*linger)
+			}
+			srv.Close()
+		}()
 	}
 	if *noLock || *noBypass || *ways != 4 {
 		f := silcfm.FullFeatures()
@@ -150,6 +170,7 @@ func main() {
 		b.ShadowCheck = false
 		b.MetricsOut, b.TraceOut, b.ProgressOut = "", "", nil
 		b.ProfileOut, b.ProfileTopK = "", 0
+		b.HealthOut = ""
 		var bentry *manifest.Entry
 		base, bentry, err = silcfm.RunEntry(b, "base/"+wlLabel)
 		if err != nil {
@@ -239,6 +260,15 @@ func printReport(r *silcfm.Report) {
 	for _, s := range r.Attribution {
 		fmt.Printf("spans   %-11s queue=%-10d service=%-10d meta=%-9d swap-ser=%-8d mispred=%-8d other=%d\n",
 			s.Path+":", s.Queue, s.Service, s.MetaFetch, s.SwapSerial, s.Mispredict, s.Other)
+	}
+	if len(r.Health) == 0 {
+		fmt.Println("health:             ok")
+	} else {
+		fmt.Printf("health:             %d incident(s)\n", len(r.Health))
+		for _, h := range r.Health {
+			fmt.Printf("  %-19s epochs %d-%d  cycles %d-%d  peak severity %.2f\n",
+				h.Kind, h.FirstEpoch, h.LastEpoch, h.FirstCycle, h.LastCycle, h.PeakSeverity)
+		}
 	}
 	if r.TopOffenders != "" {
 		fmt.Println()

@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"silcfm/internal/memunits"
 	"silcfm/internal/workload"
@@ -82,6 +83,7 @@ func generate(wl string, n uint64, out string, seed int64, metricsOut string, wi
 		defer mf.Close()
 		mw = newWindowMetrics(mf, window)
 	}
+	start := time.Now()
 	var r workload.Ref
 	for i := uint64(0); i < n; i++ {
 		g.Next(&r)
@@ -94,8 +96,19 @@ func generate(wl string, n uint64, out string, seed int64, metricsOut string, wi
 			}
 		}
 		if progress && window > 0 && (i+1)%window == 0 {
-			fmt.Fprintf(os.Stderr, "progress: refs=%d/%d (%.1f%%)\n",
-				i+1, n, 100*float64(i+1)/float64(n))
+			done := i + 1
+			note := ""
+			// Same host-rate/ETA arithmetic as the simulator's telemetry
+			// progress line, in references instead of cycles.
+			if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+				note = fmt.Sprintf(" %.1f Mref/s", float64(done)/elapsed/1e6)
+				if done < n {
+					eta := time.Duration(elapsed * float64(n-done) / float64(done) * float64(time.Second))
+					note += " eta " + eta.Round(time.Second).String()
+				}
+			}
+			fmt.Fprintf(os.Stderr, "progress: refs=%d/%d (%.1f%%)%s\n",
+				done, n, 100*float64(done)/float64(n), note)
 		}
 	}
 	if mw != nil {

@@ -109,6 +109,12 @@ type Device struct {
 	chans []channel
 	stats Stats
 
+	// queued mirrors QueueDepth() incrementally (ops submitted but not
+	// yet issued, across all channels); peakQueued is its high-water mark
+	// since the last TakePeakQueueDepth, for the telemetry epoch sampler.
+	queued     int
+	peakQueued int
+
 	// geometry, precomputed
 	nChan        uint64
 	banksPerChan uint64
@@ -183,6 +189,10 @@ func (d *Device) Submit(r Request) {
 	} else {
 		c.readQ = append(c.readQ, o)
 	}
+	d.queued++
+	if d.queued > d.peakQueued {
+		d.peakQueued = d.queued
+	}
 	d.kick(ch)
 }
 
@@ -238,6 +248,7 @@ func (d *Device) selectOp(c *channel) (op, bool) {
 	}
 	o := (*q)[pick]
 	*q = append((*q)[:pick], (*q)[pick+1:]...)
+	d.queued--
 	return o, true
 }
 
@@ -395,6 +406,20 @@ func (d *Device) PendingBytes() uint64 {
 		}
 	}
 	return n
+}
+
+// PeakQueueDepth reports the highest QueueDepth seen since the last
+// TakePeakQueueDepth (or device creation), without resetting it.
+func (d *Device) PeakQueueDepth() int { return d.peakQueued }
+
+// TakePeakQueueDepth returns the queue-depth high-water mark since the
+// last call and restarts it at the current depth, so each telemetry epoch
+// observes its own peak. Instantaneous boundary sampling aliases bursts;
+// the saturation detector needs the peak.
+func (d *Device) TakePeakQueueDepth() int {
+	p := d.peakQueued
+	d.peakQueued = d.queued
+	return p
 }
 
 // QueueDepth reports total queued (not yet issued) requests, for tests.

@@ -480,3 +480,40 @@ func TestNoLostWakeups(t *testing.T) {
 		}
 	}
 }
+
+func TestPeakQueueDepthHighWaterMark(t *testing.T) {
+	eng, d := newFM(t)
+	// Flood one instant with far more requests than the inflight window
+	// admits, so a deep queue builds before anything drains.
+	const n = 256
+	for i := 0; i < n; i++ {
+		d.Submit(Request{Addr: uint64(i) * 64})
+	}
+	depth := d.QueueDepth()
+	peak := d.PeakQueueDepth()
+	if peak == 0 {
+		t.Fatal("no peak recorded after a burst of submits")
+	}
+	if peak < depth {
+		t.Fatalf("peak %d below instantaneous depth %d", peak, depth)
+	}
+	if got := d.TakePeakQueueDepth(); got != peak {
+		t.Fatalf("TakePeakQueueDepth = %d, want %d", got, peak)
+	}
+	// After the take the mark restarts at the current depth, and once the
+	// device drains, a quiet epoch's peak falls to that restart level and
+	// then to zero.
+	if got := d.PeakQueueDepth(); got != depth {
+		t.Fatalf("after take, peak = %d, want current depth %d", got, depth)
+	}
+	eng.Run()
+	if d.QueueDepth() != 0 {
+		t.Fatalf("device did not drain: depth %d", d.QueueDepth())
+	}
+	if got := d.TakePeakQueueDepth(); got != depth {
+		t.Fatalf("post-drain take = %d, want the restart level %d", got, depth)
+	}
+	if got := d.TakePeakQueueDepth(); got != 0 {
+		t.Fatalf("idle epoch peak = %d, want 0", got)
+	}
+}

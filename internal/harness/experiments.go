@@ -9,8 +9,10 @@ import (
 	"time"
 
 	"silcfm/internal/config"
+	"silcfm/internal/health"
 	"silcfm/internal/stats"
 	"silcfm/internal/telemetry"
+	"silcfm/internal/telemetry/live"
 	"silcfm/internal/workload"
 )
 
@@ -28,6 +30,10 @@ type ExpConfig struct {
 	// baseline leg gets label "baseline"). Returned writers implementing
 	// io.Closer are closed when the run finishes; return nil to skip a run.
 	Telemetry func(label, wl string) *telemetry.Config
+	// Live, when non-nil, attaches every run in the sweep to a live
+	// observability server; each run publishes under "<label>/<workload>"
+	// and is marked done (with its incidents) as it completes.
+	Live *live.Server
 	// Progress, when non-nil, receives one completion line per finished run.
 	Progress io.Writer
 }
@@ -207,6 +213,7 @@ func Sweep(cfg ExpConfig, variants []Variant) (*SweepResult, error) {
 			if cfg.Telemetry != nil {
 				tcfg = cfg.Telemetry(label, j.wl)
 			}
+			runID := label + "/" + j.wl
 			r, err := Run(Spec{
 				Machine:           j.mach,
 				Workload:          j.wl,
@@ -216,8 +223,14 @@ func Sweep(cfg ExpConfig, variants []Variant) (*SweepResult, error) {
 				FootScaleDen:      cfg.FootScaleDen,
 				ShadowCheck:       cfg.ShadowCheck,
 				Telemetry:         tcfg,
+				Publish:           cfg.Live.Hook(runID),
 			})
 			closeTelemetry(tcfg)
+			var final []health.Incident
+			if r != nil {
+				final = r.Health
+			}
+			cfg.Live.Done(runID, final)
 			mu.Lock()
 			defer mu.Unlock()
 			if cfg.Progress != nil {

@@ -15,6 +15,7 @@ import (
 	"silcfm/internal/cpu"
 	"silcfm/internal/dram"
 	"silcfm/internal/energy"
+	"silcfm/internal/health"
 	"silcfm/internal/mem"
 	"silcfm/internal/schemes/cameo"
 	"silcfm/internal/schemes/flat"
@@ -58,6 +59,17 @@ type Spec struct {
 	// internal/telemetry). Telemetry is read-only: it never changes Cycles
 	// or any counter.
 	Telemetry *telemetry.Config
+	// Health configures the online incident detector (internal/health).
+	// nil means enabled with defaults; set Disabled to opt out entirely.
+	// Queue capacities default to each device's channels × (read+write
+	// queue length). Like telemetry, the detector is read-only.
+	Health *health.Config
+	// Publish, when set, is called once per telemetry epoch on the
+	// simulation goroutine with that epoch's state and the incidents
+	// currently open. It is the hook the live observability server
+	// (internal/telemetry/live) attaches through; the referenced state is
+	// only valid during the call.
+	Publish func(telemetry.EpochState, []health.Incident)
 }
 
 // Result is one completed simulation.
@@ -78,6 +90,10 @@ type Result struct {
 	// ConservationErr is non-nil when the end-of-run counter-conservation
 	// audit (stats.CheckConservation) found an invariant violation.
 	ConservationErr error
+	// Health holds the closed health incidents the online detector
+	// observed, in deterministic order (empty when none fired, nil when
+	// the detector was disabled).
+	Health []health.Incident
 	// Profile is the hotness profiler, when Spec.Telemetry requested one.
 	Profile *telemetry.Profiler
 	// Spec is the effective spec this run executed (InstrPerCore defaulted,
@@ -145,6 +161,8 @@ func Run(spec Spec) (*Result, error) {
 	// the Telemetry pointer must not outlive its writers.
 	manifestSpec := spec
 	manifestSpec.Telemetry = nil
+	manifestSpec.Health = nil
+	manifestSpec.Publish = nil
 
 	gens := make([]workload.Generator, m.Cores)
 	targets := make([]uint64, m.Cores)
@@ -237,7 +255,39 @@ func Run(spec Spec) (*Result, error) {
 	// Telemetry attaches after the shadow checker so the tracer joins the
 	// observer fanout without displacing it; gauges come from the raw
 	// controller (the checker wrapper does not forward them).
-	tel := telemetry.Attach(spec.Telemetry, sys, rawCtl)
+	//
+	// The health detector rides the telemetry epoch pump: the config is
+	// copied so the wrapped OnEpoch (detector feed, publisher, then the
+	// caller's own hook) never mutates the caller's struct.
+	hcfg := health.Config{}
+	if spec.Health != nil {
+		hcfg = *spec.Health
+	}
+	if hcfg.QueueCapNM == 0 {
+		hcfg.QueueCapNM = m.NM.Channels * (m.NM.ReadQueueLen + m.NM.WriteQueueLen)
+	}
+	if hcfg.QueueCapFM == 0 {
+		hcfg.QueueCapFM = m.FM.Channels * (m.FM.ReadQueueLen + m.FM.WriteQueueLen)
+	}
+	det := health.NewDetector(hcfg)
+	tcfg := telemetry.Config{}
+	if spec.Telemetry != nil {
+		tcfg = *spec.Telemetry
+	}
+	if det != nil || spec.Publish != nil {
+		userEpoch := tcfg.OnEpoch
+		publish := spec.Publish
+		tcfg.OnEpoch = func(st telemetry.EpochState) {
+			det.Observe(st.Sample)
+			if publish != nil {
+				publish(st, det.Open())
+			}
+			if userEpoch != nil {
+				userEpoch(st)
+			}
+		}
+	}
+	tel := telemetry.Attach(&tcfg, sys, rawCtl)
 
 	cx := cpu.NewComplexTargets(m, eng, gens, xlate, ctl, targets)
 	var targetTotal uint64
@@ -264,6 +314,7 @@ func Run(spec Spec) (*Result, error) {
 	}
 
 	res := &Result{}
+	res.Health = det.Finish()
 	res.Spec = manifestSpec
 	res.Workload = wlLabel
 	res.Scheme = ctl.Name()

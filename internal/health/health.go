@@ -1,0 +1,529 @@
+// Package health is an online anomaly detector for simulation runs: it
+// consumes the per-epoch delta stream the telemetry sampler already
+// produces (telemetry.Sample, including scheme gauges and the DRAM queue
+// high-water marks) and reduces it to structured incident records for the
+// windowed pathologies the paper warns about — swap thrashing that
+// bandwidth bypassing is meant to suppress (SILC-FM §III-E), bypass-
+// governor oscillation around the 0.8 access-rate target, lock/unlock
+// churn, memory-queue saturation, and way/location-predictor collapse.
+//
+// The detector is pure arithmetic over sampled deltas: it never touches
+// the engine or any counter, so enabling it cannot change Cycles or any
+// stats.Memory field, and for a fixed seed its incident records are
+// byte-deterministic (fixed struct field order, no maps, no wall clock).
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"silcfm/internal/memunits"
+	"silcfm/internal/telemetry"
+)
+
+// Incident kinds, in detector evaluation order.
+const (
+	KindSwapThrash        = "swap-thrash"
+	KindBypassOscillation = "bypass-oscillation"
+	KindLockChurn         = "lock-churn"
+	KindQueueSaturation   = "queue-saturation"
+	KindPredictorCollapse = "predictor-collapse"
+)
+
+// kinds fixes the evaluation (and reporting) order of the detectors.
+var kinds = [...]string{
+	KindSwapThrash, KindBypassOscillation, KindLockChurn,
+	KindQueueSaturation, KindPredictorCollapse,
+}
+
+const numKinds = len(kinds)
+
+// Config tunes the detector's sliding windows and thresholds. The zero
+// value means "defaults"; harness.Run enables the detector on every run
+// unless Disabled is set.
+type Config struct {
+	// Disabled turns the detector off entirely.
+	Disabled bool
+	// WindowEpochs is the sliding-window length every condition is
+	// evaluated over (default 8 epochs).
+	WindowEpochs int
+	// CloseAfter is how many consecutive quiet epochs close an open
+	// incident (default 2); a brief dip does not split one pathology into
+	// two records.
+	CloseAfter int
+
+	// SwapThrashRatio: swap-thrash fires when the window's swapped bytes
+	// (SwapsIn+SwapsOut subblocks) exceed this multiple of its demand
+	// bytes (default 1.0 — the scheme moved more data than it served).
+	SwapThrashRatio float64
+	// MinWindowMisses is the activity floor: windows with fewer LLC
+	// misses never fire swap-thrash (default 64).
+	MinWindowMisses uint64
+
+	// BypassTarget is the access-rate threshold whose repeated crossing
+	// signals governor oscillation (default 0.8, the paper's Eq. 1
+	// ceiling). MinCrossings is the crossings-per-window trigger
+	// (default 4); the scheme's bypass_toggles gauge, when present,
+	// counts toggles directly and uses the same trigger.
+	BypassTarget float64
+	MinCrossings uint64
+
+	// LockChurnMin: lock-churn fires when min(locks, unlocks) over the
+	// window reaches this (default 16 — blocks being locked and promptly
+	// unlocked instead of staying resident).
+	LockChurnMin uint64
+
+	// QueueSatFraction and QueueSatEpochs: queue-saturation fires when a
+	// device's per-epoch peak queue depth stays at or above
+	// QueueSatFraction of its capacity (default 0.75) for at least
+	// QueueSatEpochs epochs of the window (default WindowEpochs/2).
+	// QueueCapNM/FM are the device queue capacities in requests
+	// (channels x (read+write queue length)); zero disables the check
+	// for that device.
+	QueueSatFraction       float64
+	QueueSatEpochs         int
+	QueueCapNM, QueueCapFM int
+
+	// PredictorFloor and PredictorMinSamples: predictor-collapse fires
+	// when windowed predictor accuracy falls below the floor (default
+	// 0.5 — worse than a coin flip) with at least PredictorMinSamples
+	// predictions in the window (default 256).
+	PredictorFloor      float64
+	PredictorMinSamples uint64
+}
+
+// withDefaults resolves zero fields to the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.WindowEpochs <= 0 {
+		c.WindowEpochs = 8
+	}
+	if c.CloseAfter <= 0 {
+		c.CloseAfter = 2
+	}
+	if c.SwapThrashRatio <= 0 {
+		c.SwapThrashRatio = 1.0
+	}
+	if c.MinWindowMisses == 0 {
+		c.MinWindowMisses = 64
+	}
+	if c.BypassTarget <= 0 {
+		c.BypassTarget = 0.8
+	}
+	if c.MinCrossings == 0 {
+		c.MinCrossings = 4
+	}
+	if c.LockChurnMin == 0 {
+		c.LockChurnMin = 16
+	}
+	if c.QueueSatFraction <= 0 {
+		c.QueueSatFraction = 0.75
+	}
+	if c.QueueSatEpochs <= 0 {
+		c.QueueSatEpochs = c.WindowEpochs / 2
+		if c.QueueSatEpochs < 1 {
+			c.QueueSatEpochs = 1
+		}
+	}
+	if c.PredictorFloor <= 0 {
+		c.PredictorFloor = 0.5
+	}
+	if c.PredictorMinSamples == 0 {
+		c.PredictorMinSamples = 256
+	}
+	return c
+}
+
+// Evidence carries the counters that justified an incident, summed over
+// its firing epochs (peaks for the queue fields). Only the fields of the
+// incident's kind are populated.
+type Evidence struct {
+	SwapBytes       uint64 `json:"swap_bytes,omitempty"`
+	DemandBytes     uint64 `json:"demand_bytes,omitempty"`
+	Crossings       uint64 `json:"crossings,omitempty"`
+	BypassToggles   uint64 `json:"bypass_toggles,omitempty"`
+	Locks           uint64 `json:"locks,omitempty"`
+	Unlocks         uint64 `json:"unlocks,omitempty"`
+	PeakQueueNM     int    `json:"peak_queue_nm,omitempty"`
+	PeakQueueFM     int    `json:"peak_queue_fm,omitempty"`
+	PredictorHits   uint64 `json:"predictor_hits,omitempty"`
+	PredictorMisses uint64 `json:"predictor_misses,omitempty"`
+}
+
+// Incident is one detected pathology: a contiguous stretch of epochs
+// (quiet gaps up to CloseAfter included) during which a windowed
+// condition held. Field order is fixed, so JSON encoding is
+// byte-deterministic.
+type Incident struct {
+	Kind string `json:"kind"`
+	// FirstEpoch/LastEpoch are the sampler epoch indices of the first and
+	// last firing evaluation; FirstCycle is the start of the first firing
+	// epoch and LastCycle the boundary of the last.
+	FirstEpoch uint64 `json:"first_epoch"`
+	LastEpoch  uint64 `json:"last_epoch"`
+	FirstCycle uint64 `json:"first_cycle"`
+	LastCycle  uint64 `json:"last_cycle"`
+	// Epochs counts evaluations on which the condition held.
+	Epochs uint64 `json:"epochs"`
+	// PeakSeverity is the worst windowed ratio observed (1.0 = exactly at
+	// threshold; larger is worse).
+	PeakSeverity float64  `json:"peak_severity"`
+	Evidence     Evidence `json:"evidence"`
+}
+
+// String renders the one-line report form.
+func (in *Incident) String() string {
+	return fmt.Sprintf("%s: epochs %d-%d, cycles %d-%d, firing %d, peak %.2f",
+		in.Kind, in.FirstEpoch, in.LastEpoch, in.FirstCycle, in.LastCycle,
+		in.Epochs, in.PeakSeverity)
+}
+
+// obs is one epoch's detector-relevant reduction of a telemetry.Sample.
+type obs struct {
+	epoch, cycle, span uint64
+
+	misses      uint64
+	swapBytes   uint64
+	demandBytes uint64
+	crossings   uint64
+	toggles     uint64
+	locks       uint64
+	unlocks     uint64
+	peakNM      int
+	peakFM      int
+	predHits    uint64
+	predMisses  uint64
+}
+
+// tracker is one kind's open-incident state machine.
+type tracker struct {
+	open  *Incident
+	quiet int
+}
+
+// Detector consumes epoch samples and accumulates incidents. Use one
+// Detector per run; it is not safe for concurrent use (the harness calls
+// it from the simulation goroutine at epoch boundaries).
+type Detector struct {
+	cfg  Config
+	ring []obs // last WindowEpochs observations, oldest first
+
+	prevRate      float64
+	prevRateValid bool
+	prevToggles   float64
+
+	track [numKinds]tracker
+	done  []Incident
+}
+
+// NewDetector builds a detector with cfg's thresholds (zero fields take
+// the documented defaults). Returns nil when cfg.Disabled is set; all
+// Detector methods are nil-safe.
+func NewDetector(cfg Config) *Detector {
+	if cfg.Disabled {
+		return nil
+	}
+	return &Detector{cfg: cfg.withDefaults()}
+}
+
+// Observe feeds one epoch sample (deltas plus gauges) to every detector.
+func (d *Detector) Observe(s *telemetry.Sample) {
+	if d == nil || s == nil {
+		return
+	}
+	o := obs{
+		epoch:       s.Epoch,
+		cycle:       s.Cycle,
+		span:        s.SpanCycles,
+		misses:      s.LLCMisses,
+		swapBytes:   (s.SwapsIn + s.SwapsOut) * memunits.SubblockSize,
+		demandBytes: s.DemandBytesNM + s.DemandBytesFM,
+		locks:       s.Locks,
+		unlocks:     s.Unlocks,
+		peakNM:      s.PeakQueueNM,
+		peakFM:      s.PeakQueueFM,
+		predHits:    s.PredictorHits,
+		predMisses:  s.PredictorMisses,
+	}
+	// Idle epochs report AccessRate 0; only epochs that actually serviced
+	// misses move the crossing detector, so bursts separated by silence do
+	// not read as oscillation.
+	if s.LLCMisses > 0 {
+		if d.prevRateValid &&
+			(d.prevRate >= d.cfg.BypassTarget) != (s.AccessRate >= d.cfg.BypassTarget) {
+			o.crossings = 1
+		}
+		d.prevRate = s.AccessRate
+		d.prevRateValid = true
+	}
+	// The SILC-FM governor exports its cumulative toggle count as the
+	// bypass_toggles gauge; difference it into a per-epoch delta.
+	for _, g := range s.Gauges {
+		if g.Name == "bypass_toggles" {
+			if delta := g.Value - d.prevToggles; delta > 0 {
+				o.toggles = uint64(delta)
+			}
+			d.prevToggles = g.Value
+		}
+	}
+
+	d.ring = append(d.ring, o)
+	if len(d.ring) > d.cfg.WindowEpochs {
+		d.ring = d.ring[1:]
+	}
+	d.evaluate(&o)
+}
+
+// window sums the ring into one aggregate observation (peaks take max).
+func (d *Detector) window() obs {
+	var w obs
+	for i := range d.ring {
+		o := &d.ring[i]
+		w.misses += o.misses
+		w.swapBytes += o.swapBytes
+		w.demandBytes += o.demandBytes
+		w.crossings += o.crossings
+		w.toggles += o.toggles
+		w.locks += o.locks
+		w.unlocks += o.unlocks
+		if o.peakNM > w.peakNM {
+			w.peakNM = o.peakNM
+		}
+		if o.peakFM > w.peakFM {
+			w.peakFM = o.peakFM
+		}
+		w.predHits += o.predHits
+		w.predMisses += o.predMisses
+	}
+	return w
+}
+
+// evaluate runs every condition over the current window and advances the
+// per-kind incident state machines with this epoch's contribution o.
+func (d *Detector) evaluate(o *obs) {
+	c := &d.cfg
+	w := d.window()
+
+	// swap-thrash: the window moved more bytes between levels than it
+	// served to the cores.
+	{
+		fire := w.misses >= c.MinWindowMisses && w.demandBytes > 0 &&
+			float64(w.swapBytes) > c.SwapThrashRatio*float64(w.demandBytes)
+		sev := 0.0
+		if fire {
+			sev = float64(w.swapBytes) / float64(w.demandBytes) / c.SwapThrashRatio
+		}
+		d.step(KindSwapThrash, fire, sev, o, Evidence{
+			SwapBytes: o.swapBytes, DemandBytes: o.demandBytes,
+		})
+	}
+	// bypass-oscillation: the access rate keeps crossing the governor
+	// target, or the governor itself keeps toggling.
+	{
+		worst := w.crossings
+		if w.toggles > worst {
+			worst = w.toggles
+		}
+		fire := worst >= c.MinCrossings
+		sev := float64(worst) / float64(c.MinCrossings)
+		if !fire {
+			sev = 0
+		}
+		d.step(KindBypassOscillation, fire, sev, o, Evidence{
+			Crossings: o.crossings, BypassToggles: o.toggles,
+		})
+	}
+	// lock-churn: locks and unlocks both high — residency decisions are
+	// being reversed as fast as they are made.
+	{
+		churn := w.locks
+		if w.unlocks < churn {
+			churn = w.unlocks
+		}
+		fire := churn >= c.LockChurnMin
+		sev := float64(churn) / float64(c.LockChurnMin)
+		if !fire {
+			sev = 0
+		}
+		d.step(KindLockChurn, fire, sev, o, Evidence{
+			Locks: o.locks, Unlocks: o.unlocks,
+		})
+	}
+	// queue-saturation: a device's per-epoch peak depth pinned near its
+	// queue capacity for much of the window.
+	{
+		sat := func(capacity int, peak func(*obs) int) (int, float64) {
+			if capacity <= 0 {
+				return 0, 0
+			}
+			limit := c.QueueSatFraction * float64(capacity)
+			n, worst := 0, 0.0
+			for i := range d.ring {
+				p := peak(&d.ring[i])
+				if float64(p) >= limit {
+					n++
+				}
+				if f := float64(p) / float64(capacity); f > worst {
+					worst = f
+				}
+			}
+			return n, worst
+		}
+		nNM, sevNM := sat(c.QueueCapNM, func(o *obs) int { return o.peakNM })
+		nFM, sevFM := sat(c.QueueCapFM, func(o *obs) int { return o.peakFM })
+		fire := nNM >= c.QueueSatEpochs || nFM >= c.QueueSatEpochs
+		sev := sevNM
+		if sevFM > sev {
+			sev = sevFM
+		}
+		if !fire {
+			sev = 0
+		}
+		d.step(KindQueueSaturation, fire, sev, o, Evidence{
+			PeakQueueNM: o.peakNM, PeakQueueFM: o.peakFM,
+		})
+	}
+	// predictor-collapse: the way/location predictor is guessing worse
+	// than the floor over a meaningful sample.
+	{
+		samples := w.predHits + w.predMisses
+		acc := 0.0
+		if samples > 0 {
+			acc = float64(w.predHits) / float64(samples)
+		}
+		fire := samples >= c.PredictorMinSamples && acc < c.PredictorFloor
+		sev := 0.0
+		if fire {
+			sev = 1 - acc
+		}
+		d.step(KindPredictorCollapse, fire, sev, o, Evidence{
+			PredictorHits: o.predHits, PredictorMisses: o.predMisses,
+		})
+	}
+}
+
+// step advances one kind's state machine: open or extend on fire, close
+// after CloseAfter consecutive quiet evaluations.
+func (d *Detector) step(kind string, fire bool, sev float64, o *obs, ev Evidence) {
+	t := &d.track[kindIndex(kind)]
+	if !fire {
+		if t.open != nil {
+			t.quiet++
+			if t.quiet >= d.cfg.CloseAfter {
+				d.done = append(d.done, *t.open)
+				t.open = nil
+			}
+		}
+		return
+	}
+	t.quiet = 0
+	if t.open == nil {
+		t.open = &Incident{
+			Kind:       kind,
+			FirstEpoch: o.epoch,
+			FirstCycle: o.cycle - o.span,
+		}
+	}
+	in := t.open
+	in.LastEpoch = o.epoch
+	in.LastCycle = o.cycle
+	in.Epochs++
+	if sev > in.PeakSeverity {
+		in.PeakSeverity = sev
+	}
+	in.Evidence.SwapBytes += ev.SwapBytes
+	in.Evidence.DemandBytes += ev.DemandBytes
+	in.Evidence.Crossings += ev.Crossings
+	in.Evidence.BypassToggles += ev.BypassToggles
+	in.Evidence.Locks += ev.Locks
+	in.Evidence.Unlocks += ev.Unlocks
+	if ev.PeakQueueNM > in.Evidence.PeakQueueNM {
+		in.Evidence.PeakQueueNM = ev.PeakQueueNM
+	}
+	if ev.PeakQueueFM > in.Evidence.PeakQueueFM {
+		in.Evidence.PeakQueueFM = ev.PeakQueueFM
+	}
+	in.Evidence.PredictorHits += ev.PredictorHits
+	in.Evidence.PredictorMisses += ev.PredictorMisses
+}
+
+func kindIndex(kind string) int {
+	for i, k := range kinds {
+		if k == kind {
+			return i
+		}
+	}
+	panic("health: unknown kind " + kind)
+}
+
+// Open returns copies of the incidents currently firing (or inside their
+// CloseAfter grace window), in kind order — the /healthz view.
+func (d *Detector) Open() []Incident {
+	if d == nil {
+		return nil
+	}
+	var out []Incident
+	for i := range d.track {
+		if in := d.track[i].open; in != nil {
+			out = append(out, *in)
+		}
+	}
+	return out
+}
+
+// Finish closes any still-open incidents and returns the run's complete
+// incident list, sorted by first epoch then kind. Call once, after the
+// final telemetry epoch (including the partial one Finish flushes).
+func (d *Detector) Finish() []Incident {
+	if d == nil {
+		return nil
+	}
+	for i := range d.track {
+		if in := d.track[i].open; in != nil {
+			d.done = append(d.done, *in)
+			d.track[i].open = nil
+		}
+	}
+	sort.SliceStable(d.done, func(i, j int) bool {
+		if d.done[i].FirstEpoch != d.done[j].FirstEpoch {
+			return d.done[i].FirstEpoch < d.done[j].FirstEpoch
+		}
+		return kindIndex(d.done[i].Kind) < kindIndex(d.done[j].Kind)
+	})
+	return append([]Incident(nil), d.done...)
+}
+
+// WriteJSONL streams incidents one JSON object per line, followed by a
+// summary line with per-kind counts (keys sorted by encoding/json), the
+// -health-out format. Byte-deterministic for a deterministic incident
+// list.
+func WriteJSONL(w io.Writer, incidents []Incident) error {
+	for i := range incidents {
+		b, err := json.Marshal(&incidents[i])
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	byKind := map[string]int{}
+	for i := range incidents {
+		byKind[incidents[i].Kind]++
+	}
+	summary := struct {
+		Summary   bool           `json:"summary"`
+		Incidents int            `json:"incidents"`
+		ByKind    map[string]int `json:"by_kind,omitempty"`
+	}{Summary: true, Incidents: len(incidents), ByKind: byKind}
+	if len(byKind) == 0 {
+		summary.ByKind = nil
+	}
+	b, err := json.Marshal(&summary)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}

@@ -27,6 +27,7 @@ import (
 
 	"silcfm/internal/config"
 	"silcfm/internal/harness"
+	"silcfm/internal/health"
 	"silcfm/internal/stats"
 )
 
@@ -123,6 +124,11 @@ type Sim struct {
 	Energy           Energy        `json:"energy"`
 	Latency          []PathLatency `json:"latency,omitempty"`
 	Attribution      []PathSpans   `json:"attribution,omitempty"`
+	// Incidents are the run's closed health incidents (internal/health).
+	// They are a pure function of the simulated machine and seed, so they
+	// diff sim-exact like every counter above: a thrash incident appearing
+	// or vanishing between two builds is a behavior change.
+	Incidents []health.Incident `json:"incidents,omitempty"`
 }
 
 // ClassBytes is one level's byte ledger by traffic class.
@@ -287,6 +293,7 @@ func FromResult(id string, res *harness.Result) Entry {
 			})
 		}
 	}
+	e.Sim.Incidents = append([]health.Incident(nil), res.Health...)
 	if res.Attr != nil {
 		for _, s := range res.Attr.Summaries() {
 			e.Sim.Attribution = append(e.Sim.Attribution, PathSpans{

@@ -8,6 +8,7 @@ import (
 
 	"silcfm/internal/config"
 	"silcfm/internal/harness"
+	"silcfm/internal/health"
 	"silcfm/internal/stats"
 )
 
@@ -49,6 +50,16 @@ func testEntry(id string) Entry {
 	}
 	res.WallSeconds = 0.5
 	res.SimCyclesPerSec = 2e6
+	res.Health = []health.Incident{{
+		Kind:         health.KindSwapThrash,
+		FirstEpoch:   2,
+		LastEpoch:    5,
+		FirstCycle:   40000,
+		LastCycle:    120000,
+		Epochs:       4,
+		PeakSeverity: 2.25,
+		Evidence:     health.Evidence{SwapBytes: 55 * 64, DemandBytes: 700 * 64},
+	}}
 	return FromResult(id, res)
 }
 
@@ -149,6 +160,40 @@ func TestCompareDetectsDeterministicMismatch(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("diff table missing sim.cycles failure: %+v", d.Table.Rows)
+	}
+}
+
+func TestCompareDetectsIncidentDrift(t *testing.T) {
+	// A severity change in an existing incident is a deterministic mismatch.
+	old := testManifest("a", "silc/milc")
+	new := testManifest("b", "silc/milc")
+	new.Entries[0].Sim.Incidents[0].PeakSeverity *= 2
+	d, err := Compare(old, new, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatalf("incident severity drift must fail: %s", d.Summary())
+	}
+	found := false
+	for _, row := range d.Table.Rows {
+		if strings.HasPrefix(row[1], "sim.incidents[0].peak_severity") && strings.HasPrefix(row[5], "FAIL") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diff table missing incident failure: %+v", d.Table.Rows)
+	}
+
+	// An incident vanishing entirely is a behavior change too.
+	gone := testManifest("c", "silc/milc")
+	gone.Entries[0].Sim.Incidents = nil
+	d, err = Compare(old, gone, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatalf("vanished incident must fail: %s", d.Summary())
 	}
 }
 

@@ -116,6 +116,43 @@ func (m *Memory) MigrationOverheadRatio() float64 {
 	return float64(extra) / float64(demand)
 }
 
+// Counter is one named cumulative counter, for metric exposition (the
+// live observability server's Prometheus /metrics endpoint).
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Counters enumerates every cumulative Memory counter in fixed
+// declaration order, so exposition output is deterministic and new
+// counters only need to be added here to be exported.
+func (m *Memory) Counters() []Counter {
+	return []Counter{
+		{"llc_misses", m.LLCMisses},
+		{"serviced_nm", m.ServicedNM},
+		{"serviced_fm", m.ServicedFM},
+		{"demand_bytes_nm", m.Bytes[NM][Demand]},
+		{"demand_bytes_fm", m.Bytes[FM][Demand]},
+		{"migration_bytes_nm", m.Bytes[NM][Migration]},
+		{"migration_bytes_fm", m.Bytes[FM][Migration]},
+		{"metadata_bytes_nm", m.Bytes[NM][Metadata]},
+		{"metadata_bytes_fm", m.Bytes[FM][Metadata]},
+		{"swaps_in", m.SwapsIn},
+		{"swaps_out", m.SwapsOut},
+		{"locks", m.Locks},
+		{"unlocks", m.Unlocks},
+		{"migrations", m.Migrations},
+		{"bypassed_accesses", m.BypassedAccesses},
+		{"predictor_hits", m.PredictorHits},
+		{"predictor_misses", m.PredictorMisses},
+		{"row_hits_nm", m.RowHits[NM]},
+		{"row_misses_nm", m.RowMisses[NM]},
+		{"row_hits_fm", m.RowHits[FM]},
+		{"row_misses_fm", m.RowMisses[FM]},
+		{"os_overhead_cycles", m.OSOverheadCycles},
+	}
+}
+
 // PredictorAccuracy returns the way/location predictor hit rate.
 func (m *Memory) PredictorAccuracy() float64 {
 	t := m.PredictorHits + m.PredictorMisses

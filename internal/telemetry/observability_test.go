@@ -45,9 +45,10 @@ func TestCSVGaugeNameQuoting(t *testing.T) {
 	if tel == nil {
 		t.Fatal("Attach returned nil")
 	}
-	// No pump needed: Finish flushes the first (and only) sample. eng is
-	// unused beyond construction.
-	_ = eng
+	// No pump needed: once any cycles have elapsed, Finish flushes the
+	// first (and only) sample as the final partial epoch.
+	eng.At(1, func() { sys.Stats.LLCMisses++ })
+	eng.Run()
 	if err := tel.Finish(); err != nil {
 		t.Fatalf("finish: %v", err)
 	}
@@ -74,6 +75,81 @@ func TestCSVGaugeNameQuoting(t *testing.T) {
 	line, _, _ := strings.Cut(buf.String(), "\n")
 	if !strings.Contains(line, `"g:queue,depth"`) {
 		t.Errorf("comma-bearing gauge name not quoted in header: %q", line)
+	}
+}
+
+// TestZeroLengthRunEmitsNoSample pins the finish() fix: a run in which the
+// engine never advanced must produce no epoch rows at all, not a spurious
+// all-zero row.
+func TestZeroLengthRunEmitsNoSample(t *testing.T) {
+	for _, csv := range []bool{false, true} {
+		_, sys := newBareSystem()
+		var buf bytes.Buffer
+		tel := telemetry.Attach(&telemetry.Config{MetricsW: &buf, MetricsCSV: csv}, sys, nil)
+		tel.Start()
+		if err := tel.Finish(); err != nil {
+			t.Fatalf("csv=%v: finish: %v", csv, err)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("csv=%v: zero-length run emitted %q, want nothing", csv, buf.String())
+		}
+	}
+}
+
+// driftGauges is a controller whose gauge set shrinks mid-run, to pin the
+// CSV gauge-drift guard: the vanished gauge's column must zero-fill, never
+// misalign the row.
+type driftGauges struct{ gauges []mem.Gauge }
+
+func (*driftGauges) Name() string                  { return "drift" }
+func (*driftGauges) Locate(pa uint64) mem.Location { return mem.Location{DevAddr: pa} }
+func (*driftGauges) Handle(a *mem.Access)          {}
+func (d *driftGauges) Gauges() []mem.Gauge         { return d.gauges }
+
+func TestCSVGaugeDriftZeroFills(t *testing.T) {
+	const E = 100
+	eng, sys := newBareSystem()
+	ctl := &driftGauges{gauges: []mem.Gauge{
+		{Name: "stable", Value: 7},
+		{Name: "vanishing", Value: 42},
+	}}
+	var buf bytes.Buffer
+	tel := telemetry.Attach(&telemetry.Config{MetricsW: &buf, MetricsCSV: true, EpochCycles: E}, sys, ctl)
+	tel.Start()
+	eng.RunUntil(E) // first sample fixes the column order: stable, vanishing
+	ctl.gauges = ctl.gauges[:1]
+	eng.RunUntil(2 * E) // second sample no longer reports "vanishing"
+	if err := tel.Finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+
+	rows, err := csv.NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV after gauge drift: %v\n%s", err, buf.String())
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want header + 2 samples, got %d rows", len(rows))
+	}
+	header := rows[0]
+	col := -1
+	for i, name := range header {
+		if name == "g:vanishing" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("header lost the vanished gauge column: %v", header)
+	}
+	for i, row := range rows[1:] {
+		if len(row) != len(header) {
+			t.Fatalf("sample %d has %d cells, header has %d (misaligned)", i, len(row), len(header))
+		}
+	}
+	if got := rows[1][col]; got != "42" {
+		t.Errorf("first sample's vanishing gauge = %q, want 42", got)
+	}
+	if got := rows[2][col]; got != "0" {
+		t.Errorf("vanished gauge cell = %q, want zero-filled 0", got)
 	}
 }
 

@@ -47,11 +47,16 @@ type Sample struct {
 
 	QueueNM int `json:"queue_nm"`
 	QueueFM int `json:"queue_fm"`
+	// PeakQueueNM/FM are the queue-depth high-water marks over the epoch
+	// (reset at each boundary); the instantaneous depths alias bursts.
+	PeakQueueNM int `json:"peak_queue_nm"`
+	PeakQueueFM int `json:"peak_queue_fm"`
 
 	Gauges []mem.Gauge `json:"gauges,omitempty"`
 }
 
-// sampler snapshots counters each epoch and streams deltas.
+// sampler snapshots counters each epoch and streams deltas. w may be nil
+// when samples are only consumed in memory (Config.OnEpoch).
 type sampler struct {
 	w   io.Writer
 	csv bool
@@ -71,8 +76,9 @@ func newSampler(w io.Writer, csv bool, sys *mem.System, gp mem.GaugeProvider) *s
 	return &sampler{w: w, csv: csv, sys: sys, gp: gp}
 }
 
-// sample emits one epoch row at the current cycle.
-func (s *sampler) sample() error {
+// sample emits one epoch row at the current cycle and returns it for
+// in-memory consumers (Config.OnEpoch).
+func (s *sampler) sample() (*Sample, error) {
 	now := s.sys.Eng.Now()
 	cur := *s.sys.Stats
 	row := [2][2]uint64{
@@ -110,8 +116,10 @@ func (s *sampler) sample() error {
 		RowHitsFM:   row[1][0] - s.prevRow[1][0],
 		RowMissesFM: row[1][1] - s.prevRow[1][1],
 
-		QueueNM: s.sys.NM.QueueDepth(),
-		QueueFM: s.sys.FM.QueueDepth(),
+		QueueNM:     s.sys.NM.QueueDepth(),
+		QueueFM:     s.sys.FM.QueueDepth(),
+		PeakQueueNM: s.sys.NM.TakePeakQueueDepth(),
+		PeakQueueFM: s.sys.FM.TakePeakQueueDepth(),
 	}
 	if sm.LLCMisses > 0 {
 		sm.AccessRate = float64(sm.ServicedNM) / float64(sm.LLCMisses)
@@ -125,23 +133,28 @@ func (s *sampler) sample() error {
 	s.prev = cur
 	s.prevRow = row
 
+	if s.w == nil {
+		return &sm, nil
+	}
 	if s.csv {
-		return s.writeCSV(&sm)
+		return &sm, s.writeCSV(&sm)
 	}
 	enc, err := json.Marshal(&sm)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	enc = append(enc, '\n')
 	_, err = s.w.Write(enc)
-	return err
+	return &sm, err
 }
 
 // finish emits the final partial epoch, if any cycles elapsed since the
-// last boundary, so the delta stream sums exactly to the run totals.
-func (s *sampler) finish() error {
-	if s.sys.Eng.Now() == s.lastCycle && s.epoch > 0 {
-		return nil
+// last boundary, so the delta stream sums exactly to the run totals. A
+// run in which no cycles ever elapsed (epoch==0 and Now()==0) emits
+// nothing rather than a spurious all-zero row.
+func (s *sampler) finish() (*Sample, error) {
+	if s.sys.Eng.Now() == s.lastCycle {
+		return nil, nil
 	}
 	return s.sample()
 }
@@ -165,7 +178,7 @@ var csvFixed = []string{
 	"swaps_in", "swaps_out", "locks", "unlocks", "migrations", "bypassed",
 	"predictor_hits", "predictor_misses",
 	"row_hits_nm", "row_misses_nm", "row_hits_fm", "row_misses_fm",
-	"queue_nm", "queue_fm",
+	"queue_nm", "queue_fm", "peak_queue_nm", "peak_queue_fm",
 }
 
 func (s *sampler) writeCSV(sm *Sample) error {
@@ -212,6 +225,10 @@ func (s *sampler) writeCSV(sm *Sample) error {
 	b.WriteString(strconv.Itoa(sm.QueueNM))
 	b.WriteByte(',')
 	b.WriteString(strconv.Itoa(sm.QueueFM))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(sm.PeakQueueNM))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(sm.PeakQueueFM))
 	// Gauge columns follow the header order; a scheme's gauge set is fixed,
 	// but guard against drift rather than misalign columns.
 	byName := make(map[string]float64, len(sm.Gauges))

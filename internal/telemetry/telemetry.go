@@ -17,8 +17,10 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"silcfm/internal/mem"
+	"silcfm/internal/stats"
 )
 
 // Config selects which telemetry outputs a run produces. A nil Config (or
@@ -48,6 +50,24 @@ type Config struct {
 	// ProfileMaxEntries bounds each profile map (default 1<<15 blocks and
 	// 1<<15 PCs; new keys past the cap are counted as dropped).
 	ProfileMaxEntries int
+	// OnEpoch, when non-nil, receives every epoch sample in memory — the
+	// feed for the health detector (internal/health) and the live
+	// observability server (internal/telemetry/live). It runs on the
+	// simulation goroutine at the epoch boundary; the referenced state is
+	// only valid for the duration of the call (copy, don't retain).
+	OnEpoch func(EpochState)
+}
+
+// EpochState is one epoch-boundary snapshot handed to Config.OnEpoch.
+// Sample holds this epoch's deltas; Mem and Lat point at the live
+// cumulative state, valid only during the callback.
+type EpochState struct {
+	Sample *Sample
+	Mem    *stats.Memory
+	Lat    *stats.PathLatencies
+	// Done/Total are the instruction-progress probe's values (zero when
+	// no probe is installed; see T.SetProgress).
+	Done, Total uint64
 }
 
 // DefaultEpochCycles is the sampling period used when Config.EpochCycles is
@@ -68,7 +88,10 @@ type T struct {
 	prof    *Profiler
 	// progress reports retired and target instructions across cores.
 	progress func() (done, total uint64)
-	err      error
+	// wallStart anchors the ETA / Mcyc-per-second figures in the progress
+	// line (host wall clock; never influences simulation state).
+	wallStart time.Time
+	err       error
 }
 
 // Attach wires telemetry onto a system before the simulation starts. ctl is
@@ -76,7 +99,7 @@ type T struct {
 // gauges ride along in every sample. Returns nil when cfg requests nothing.
 func Attach(cfg *Config, sys *mem.System, ctl mem.Controller) *T {
 	if cfg == nil || (cfg.MetricsW == nil && cfg.TraceW == nil && cfg.ProgressW == nil &&
-		cfg.ProfileW == nil && !cfg.Profile) {
+		cfg.ProfileW == nil && !cfg.Profile && cfg.OnEpoch == nil) {
 		return nil
 	}
 	t := &T{cfg: *cfg, sys: sys}
@@ -86,7 +109,7 @@ func Attach(cfg *Config, sys *mem.System, ctl mem.Controller) *T {
 	if t.cfg.TraceLimit <= 0 {
 		t.cfg.TraceLimit = DefaultTraceLimit
 	}
-	if t.cfg.MetricsW != nil {
+	if t.cfg.MetricsW != nil || t.cfg.OnEpoch != nil {
 		gp, _ := ctl.(mem.GaugeProvider)
 		t.sampler = newSampler(t.cfg.MetricsW, t.cfg.MetricsCSV, sys, gp)
 	}
@@ -123,6 +146,7 @@ func (t *T) Start() {
 	if t == nil || (t.sampler == nil && t.cfg.ProgressW == nil) {
 		return
 	}
+	t.wallStart = time.Now()
 	var pump func()
 	pump = func() {
 		t.tick()
@@ -133,9 +157,7 @@ func (t *T) Start() {
 
 // tick emits one epoch sample and/or progress line at the current cycle.
 func (t *T) tick() {
-	if t.sampler != nil && t.err == nil {
-		t.err = t.sampler.sample()
-	}
+	t.epochSample()
 	if t.cfg.ProgressW != nil {
 		now := t.sys.Eng.Now()
 		if t.progress != nil {
@@ -144,12 +166,54 @@ func (t *T) tick() {
 			if total > 0 {
 				pct = 100 * float64(done) / float64(total)
 			}
-			fmt.Fprintf(t.cfg.ProgressW, "progress: cycle=%d instr=%d/%d (%.1f%%)\n",
-				now, done, total, pct)
+			fmt.Fprintf(t.cfg.ProgressW, "progress: cycle=%d instr=%d/%d (%.1f%%)%s\n",
+				now, done, total, pct, t.wallNote(now, done, total))
 		} else {
-			fmt.Fprintf(t.cfg.ProgressW, "progress: cycle=%d\n", now)
+			fmt.Fprintf(t.cfg.ProgressW, "progress: cycle=%d%s\n",
+				now, t.wallNote(now, 0, 0))
 		}
 	}
+}
+
+// epochSample takes one sampler reading and feeds OnEpoch.
+func (t *T) epochSample() {
+	if t.sampler == nil || t.err != nil {
+		return
+	}
+	sm, err := t.sampler.sample()
+	if err != nil {
+		t.err = err
+		return
+	}
+	t.emit(sm)
+}
+
+// emit hands one fresh sample to the OnEpoch consumer.
+func (t *T) emit(sm *Sample) {
+	if sm == nil || t.cfg.OnEpoch == nil {
+		return
+	}
+	st := EpochState{Sample: sm, Mem: t.sys.Stats, Lat: t.sys.Lat}
+	if t.progress != nil {
+		st.Done, st.Total = t.progress()
+	}
+	t.cfg.OnEpoch(st)
+}
+
+// wallNote renders the host-side rate and ETA suffix of a progress line
+// (same arithmetic as harness.SweepResult.WallFooter): simulated Mcyc per
+// host second, and the wall time left assuming retirement stays linear.
+func (t *T) wallNote(cycle, done, total uint64) string {
+	elapsed := time.Since(t.wallStart).Seconds()
+	if elapsed <= 0 {
+		return ""
+	}
+	note := fmt.Sprintf(" %.1f Mcyc/s", float64(cycle)/elapsed/1e6)
+	if done > 0 && total > done {
+		eta := time.Duration(elapsed * float64(total-done) / float64(done) * float64(time.Second))
+		note += " eta " + eta.Round(time.Second).String()
+	}
+	return note
 }
 
 // Finish flushes the final partial epoch (so per-epoch deltas sum exactly to
@@ -160,7 +224,12 @@ func (t *T) Finish() error {
 		return nil
 	}
 	if t.sampler != nil && t.err == nil {
-		t.err = t.sampler.finish()
+		sm, err := t.sampler.finish()
+		if err != nil {
+			t.err = err
+		} else {
+			t.emit(sm)
+		}
 	}
 	if t.tracer != nil && t.err == nil {
 		t.err = t.tracer.Write(t.cfg.TraceW)

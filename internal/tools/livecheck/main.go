@@ -1,0 +1,127 @@
+// Command livecheck validates a running live observability server
+// (silcfm-sim/-experiments/-bench -listen): it scrapes /metrics, /healthz,
+// /progress and /debug/pprof/cmdline and checks each response is
+// well-formed. Used by ci.sh's live-endpoint stage.
+//
+// Usage:
+//
+//	livecheck http://127.0.0.1:8080
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"silcfm/internal/telemetry/live"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: livecheck <base-url>")
+		os.Exit(2)
+	}
+	base := strings.TrimRight(os.Args[1], "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+	if err := check(client, base); err != nil {
+		fmt.Fprintln(os.Stderr, "livecheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("livecheck: all endpoints ok")
+}
+
+func check(client *http.Client, base string) error {
+	// /metrics: parseable Prometheus exposition carrying the expected
+	// metric families.
+	body, err := fetch(client, base+"/metrics", http.StatusOK)
+	if err != nil {
+		return err
+	}
+	if err := live.ValidateExposition(body); err != nil {
+		return fmt.Errorf("/metrics: %w", err)
+	}
+	for _, family := range []string{
+		"silcfm_cycle", "silcfm_access_rate", "silcfm_llc_misses_total",
+		"silcfm_queue_depth_peak", "silcfm_open_incidents",
+	} {
+		if !strings.Contains(string(body), "# TYPE "+family+" ") {
+			return fmt.Errorf("/metrics: missing family %s", family)
+		}
+	}
+
+	// /healthz: well-formed JSON with at least one run. 200 and 503 are
+	// both valid server states (an open incident is not a livecheck
+	// failure); anything else is.
+	body, status, err := fetchAny(client, base+"/healthz")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK && status != http.StatusServiceUnavailable {
+		return fmt.Errorf("/healthz: status %d", status)
+	}
+	var hz live.Healthz
+	if err := json.Unmarshal(body, &hz); err != nil {
+		return fmt.Errorf("/healthz: %w", err)
+	}
+	if hz.Status != "ok" && hz.Status != "incident" {
+		return fmt.Errorf("/healthz: bad status %q", hz.Status)
+	}
+	if (hz.Status == "incident") != (status == http.StatusServiceUnavailable) {
+		return fmt.Errorf("/healthz: body status %q disagrees with HTTP %d", hz.Status, status)
+	}
+	if len(hz.Runs) == 0 {
+		return fmt.Errorf("/healthz: no runs registered")
+	}
+
+	// /progress: well-formed JSON with the same runs.
+	body, err = fetch(client, base+"/progress", http.StatusOK)
+	if err != nil {
+		return err
+	}
+	var prs []live.ProgressRun
+	if err := json.Unmarshal(body, &prs); err != nil {
+		return fmt.Errorf("/progress: %w", err)
+	}
+	if len(prs) != len(hz.Runs) {
+		return fmt.Errorf("/progress: %d runs, /healthz has %d", len(prs), len(hz.Runs))
+	}
+	for _, pr := range prs {
+		if pr.State != "running" && pr.State != "done" {
+			return fmt.Errorf("/progress: run %q has bad state %q", pr.Run, pr.State)
+		}
+	}
+
+	// pprof rides along.
+	if _, err := fetch(client, base+"/debug/pprof/cmdline", http.StatusOK); err != nil {
+		return err
+	}
+	return nil
+}
+
+func fetch(client *http.Client, url string, want int) ([]byte, error) {
+	body, status, err := fetchAny(client, url)
+	if err != nil {
+		return nil, err
+	}
+	if status != want {
+		return nil, fmt.Errorf("%s: status %d, want %d", url, status, want)
+	}
+	return body, nil
+}
+
+func fetchAny(client *http.Client, url string) ([]byte, int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", url, err)
+	}
+	return body, resp.StatusCode, nil
+}

@@ -26,11 +26,23 @@ import (
 
 	"silcfm/internal/config"
 	"silcfm/internal/harness"
+	"silcfm/internal/health"
 	"silcfm/internal/manifest"
 	"silcfm/internal/stats"
 	"silcfm/internal/telemetry"
+	"silcfm/internal/telemetry/live"
 	"silcfm/internal/workload"
 )
+
+// LiveServer is the embedded observability HTTP server (see Serve): it
+// exposes /metrics (Prometheus text), /healthz (open health incidents),
+// /progress (per-run status with ETA) and /debug/pprof for every run
+// attached through Options.Live.
+type LiveServer = live.Server
+
+// Serve binds addr (host:port; ":0" picks a free port) and starts the live
+// observability server. Attach runs via Options.Live; stop with Close.
+func Serve(addr string) (*LiveServer, error) { return live.New(addr) }
 
 // Scheme names a memory-organization scheme.
 type Scheme string
@@ -162,6 +174,19 @@ type Options struct {
 	// Report.TopOffenders.
 	ProfileTopK int
 
+	// HealthOut writes the run's health incidents (plus a summary line) as
+	// JSONL. The online detector itself is always on — Report.Health and
+	// the manifest carry its incidents regardless — this only selects the
+	// file output.
+	HealthOut string
+
+	// Live attaches this run to a live observability server (see Serve):
+	// every telemetry epoch publishes a snapshot, and the run is marked
+	// done (with its final incident list) when it completes. RunID names
+	// the run on the server's endpoints; default "<scheme>/<workload>".
+	Live  *LiveServer
+	RunID string
+
 	Seed int64
 }
 
@@ -209,6 +234,13 @@ type Report struct {
 	// Options.ProfileTopK was set.
 	TopOffenders string `json:"top_offenders,omitempty"`
 
+	// Health lists the incidents the online health detector observed
+	// (swap-thrash, bypass oscillation, lock churn, queue saturation,
+	// predictor collapse), in deterministic order. Empty means the run
+	// stayed healthy; like every counter above it is byte-deterministic
+	// for a fixed seed.
+	Health []HealthIncident `json:"health,omitempty"`
+
 	// WallSeconds is the host wall-clock time of the whole run, and
 	// SimCyclesPerSec the simulated-cycles-per-host-second throughput of
 	// the event loop. Both are host-dependent (never byte-deterministic);
@@ -229,6 +261,35 @@ type PathSpans struct {
 	SwapSerial uint64 `json:"swap_serial"`
 	Mispredict uint64 `json:"mispredict"`
 	Other      uint64 `json:"other"`
+}
+
+// HealthIncident is one detected anomaly: a window of consecutive epochs
+// during which one pathology condition held (see internal/health for the
+// trigger definitions).
+type HealthIncident struct {
+	Kind         string         `json:"kind"`
+	FirstEpoch   uint64         `json:"first_epoch"`
+	LastEpoch    uint64         `json:"last_epoch"`
+	FirstCycle   uint64         `json:"first_cycle"`
+	LastCycle    uint64         `json:"last_cycle"`
+	Epochs       uint64         `json:"epochs"`
+	PeakSeverity float64        `json:"peak_severity"`
+	Evidence     HealthEvidence `json:"evidence"`
+}
+
+// HealthEvidence carries the counters accumulated while an incident was
+// firing; only the fields relevant to the incident's kind are set.
+type HealthEvidence struct {
+	SwapBytes       uint64 `json:"swap_bytes,omitempty"`
+	DemandBytes     uint64 `json:"demand_bytes,omitempty"`
+	Crossings       uint64 `json:"crossings,omitempty"`
+	BypassToggles   uint64 `json:"bypass_toggles,omitempty"`
+	Locks           uint64 `json:"locks,omitempty"`
+	Unlocks         uint64 `json:"unlocks,omitempty"`
+	PeakQueueNM     int    `json:"peak_queue_nm,omitempty"`
+	PeakQueueFM     int    `json:"peak_queue_fm,omitempty"`
+	PredictorHits   uint64 `json:"predictor_hits,omitempty"`
+	PredictorMisses uint64 `json:"predictor_misses,omitempty"`
 }
 
 // PathLatency summarizes one service path's demand latency distribution.
@@ -354,12 +415,32 @@ func runResult(o Options) (*harness.Result, error) {
 		return nil, err
 	}
 	spec.Telemetry = tcfg
-	res, err := harness.Run(spec)
+	var res *harness.Result
+	if o.Live != nil {
+		id := o.RunID
+		if id == "" {
+			id = string(m.Scheme) + "/" + wl
+		}
+		spec.Publish = o.Live.Hook(id)
+		defer func() {
+			var final []health.Incident
+			if res != nil {
+				final = res.Health
+			}
+			o.Live.Done(id, final)
+		}()
+	}
+	res, err = harness.Run(spec)
 	if cerr := cleanup(); err == nil && cerr != nil {
 		err = fmt.Errorf("silcfm: telemetry output: %w", cerr)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if o.HealthOut != "" {
+		if herr := writeHealthOut(o.HealthOut, res.Health); herr != nil {
+			return nil, herr
+		}
 	}
 	if res.AuditErr != nil {
 		return nil, fmt.Errorf("silcfm: data-integrity audit failed: %w", res.AuditErr)
@@ -433,6 +514,50 @@ func (o Options) telemetryConfig() (*telemetry.Config, func() error, error) {
 	return cfg, cleanup, nil
 }
 
+// writeHealthOut writes the incident JSONL file (Options.HealthOut).
+func writeHealthOut(path string, incidents []health.Incident) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("silcfm: %w", err)
+	}
+	werr := health.WriteJSONL(f, incidents)
+	if cerr := f.Close(); werr == nil && cerr != nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("silcfm: health output: %w", werr)
+	}
+	return nil
+}
+
+func healthIncidents(res *harness.Result) []HealthIncident {
+	var out []HealthIncident
+	for _, in := range res.Health {
+		out = append(out, HealthIncident{
+			Kind:         in.Kind,
+			FirstEpoch:   in.FirstEpoch,
+			LastEpoch:    in.LastEpoch,
+			FirstCycle:   in.FirstCycle,
+			LastCycle:    in.LastCycle,
+			Epochs:       in.Epochs,
+			PeakSeverity: in.PeakSeverity,
+			Evidence: HealthEvidence{
+				SwapBytes:       in.Evidence.SwapBytes,
+				DemandBytes:     in.Evidence.DemandBytes,
+				Crossings:       in.Evidence.Crossings,
+				BypassToggles:   in.Evidence.BypassToggles,
+				Locks:           in.Evidence.Locks,
+				Unlocks:         in.Evidence.Unlocks,
+				PeakQueueNM:     in.Evidence.PeakQueueNM,
+				PeakQueueFM:     in.Evidence.PeakQueueFM,
+				PredictorHits:   in.Evidence.PredictorHits,
+				PredictorMisses: in.Evidence.PredictorMisses,
+			},
+		})
+	}
+	return out
+}
+
 func reportOf(res *harness.Result, topK int) *Report {
 	r := &Report{
 		Workload:          res.Workload,
@@ -455,6 +580,7 @@ func reportOf(res *harness.Result, topK int) *Report {
 		PredictorAccuracy: res.Mem.PredictorAccuracy(),
 		DemandLatency:     pathLatencies(res),
 		Attribution:       pathSpans(res),
+		Health:            healthIncidents(res),
 		WallSeconds:       res.WallSeconds,
 		SimCyclesPerSec:   res.SimCyclesPerSec,
 	}
