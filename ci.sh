@@ -5,6 +5,7 @@
 #
 #   ./ci.sh          # everything
 #   ./ci.sh bench    # only the bench-smoke + manifest-diff stage
+#   ./ci.sh perf     # only the perf-regression stage (speed/alloc bands)
 #   ./ci.sh live     # only the live-server endpoint + inertness stage
 set -eu
 
@@ -16,7 +17,22 @@ set -eu
 bench_smoke() {
 	go build -o /tmp/silcfm-bench ./cmd/silcfm-bench
 	/tmp/silcfm-bench -short -quiet -out /tmp/bench_smoke.json
-	/tmp/silcfm-bench -diff -subset -noise 0 BENCH_PR5.json /tmp/bench_smoke.json
+	/tmp/silcfm-bench -diff -subset -noise 0 BENCH_PR6.json /tmp/bench_smoke.json
+}
+
+# Perf-regression stage: rerun the short suite best-of-5 and gate the
+# direction-aware host metrics against the committed PR6 baseline. The speed
+# band is generous (-speed-noise 0.6: CI machines differ and host timing
+# jitters ±50% even best-of-5) — it exists to catch order-of-magnitude
+# regressions like an allocation or scan creeping back into the inner loop,
+# not 10% wobbles. The alloc band is tight (-alloc-noise 0.25): steady-state
+# allocation counts are nearly deterministic, so any real leak trips it.
+# -noise 0 still skips wall_seconds, and sim counters stay exact as always.
+perf_gate() {
+	go build -o /tmp/silcfm-bench ./cmd/silcfm-bench
+	/tmp/silcfm-bench -short -quiet -reps 5 -out /tmp/bench_perf.json
+	/tmp/silcfm-bench -diff -subset -noise 0 -speed-noise 0.6 -alloc-noise 0.25 \
+		BENCH_PR6.json /tmp/bench_perf.json
 }
 
 # Live-observability stage: run a short simulation with the embedded HTTP
@@ -64,6 +80,10 @@ if [ "${1:-}" = "bench" ]; then
 	bench_smoke
 	exit 0
 fi
+if [ "${1:-}" = "perf" ]; then
+	perf_gate
+	exit 0
+fi
 if [ "${1:-}" = "live" ]; then
 	live_smoke
 	exit 0
@@ -89,5 +109,6 @@ go test -race ./internal/stats ./internal/mem ./internal/telemetry ./internal/ma
 go vet ./...
 go build ./...
 bench_smoke
+perf_gate
 live_smoke
 go test -race ./...

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	silcfm-bench -out BENCH_PR5.json -label PR5     # full suite
+//	silcfm-bench -out BENCH_PR6.json -label PR6     # full suite
 //	silcfm-bench -short -out /tmp/bench.json        # CI smoke subset
-//	silcfm-bench -diff BENCH_PR4.json BENCH_PR5.json
+//	silcfm-bench -diff BENCH_PR5.json BENCH_PR6.json
 //	silcfm-bench -diff -subset -noise 0 BENCH_PR4.json /tmp/bench.json
 //
 // (Flags precede the positional manifest paths, per Go flag convention.)
@@ -64,9 +64,11 @@ func main() {
 
 		listen = flag.String("listen", "", "serve live observability HTTP on this address (/metrics, /healthz, /progress, /debug/pprof)")
 
-		diff   = flag.Bool("diff", false, "diff mode: compare two manifests (old.json new.json)")
-		noise  = flag.Float64("noise", 0.10, "relative noise band for host-timing metrics (0 skips them)")
-		subset = flag.Bool("subset", false, "diff mode: allow baseline entries the new manifest did not rerun")
+		diff       = flag.Bool("diff", false, "diff mode: compare two manifests (old.json new.json)")
+		noise      = flag.Float64("noise", 0.10, "relative noise band for host-timing metrics (0 skips them)")
+		speedNoise = flag.Float64("speed-noise", 0, "diff mode: band for host.sim_cycles_per_sec, breaching only when slower (0 falls back to -noise)")
+		allocNoise = flag.Float64("alloc-noise", 0, "diff mode: band for host.alloc_objects/bytes, breaching only when higher (0 falls back to -noise)")
+		subset     = flag.Bool("subset", false, "diff mode: allow baseline entries the new manifest did not rerun")
 	)
 	flag.Parse()
 
@@ -75,7 +77,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "silcfm-bench: -diff needs exactly two manifest paths (old new)")
 			os.Exit(2)
 		}
-		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *noise, *subset))
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), manifest.DiffOptions{
+			Noise:      *noise,
+			SpeedNoise: *speedNoise,
+			AllocNoise: *allocNoise,
+			Subset:     *subset,
+		}))
 	}
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "silcfm-bench: unexpected arguments (did you mean -diff?):", flag.Args())
@@ -204,7 +211,7 @@ func runCell(id string, spec harness.Spec, reps int, srv *live.Server) (*manifes
 	return best, bestRes, nil
 }
 
-func runDiff(oldPath, newPath string, noise float64, subset bool) int {
+func runDiff(oldPath, newPath string, opt manifest.DiffOptions) int {
 	oldM, err := manifest.ReadFile(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "silcfm-bench:", err)
@@ -215,7 +222,7 @@ func runDiff(oldPath, newPath string, noise float64, subset bool) int {
 		fmt.Fprintln(os.Stderr, "silcfm-bench:", err)
 		return 2
 	}
-	d, err := manifest.Compare(oldM, newM, manifest.DiffOptions{Noise: noise, Subset: subset})
+	d, err := manifest.Compare(oldM, newM, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "silcfm-bench:", err)
 		return 2
@@ -223,7 +230,7 @@ func runDiff(oldPath, newPath string, noise float64, subset bool) int {
 	if len(d.Table.Rows) > 0 {
 		fmt.Println(d.Table)
 	}
-	if len(d.Uncovered) > 0 && subset {
+	if len(d.Uncovered) > 0 && opt.Subset {
 		fmt.Printf("note: %d baseline entries not rerun by %s (subset mode)\n", len(d.Uncovered), newPath)
 	}
 	fmt.Printf("%s -> %s\n%s\n", oldPath, newPath, d.Summary())

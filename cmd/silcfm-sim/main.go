@@ -18,6 +18,7 @@ import (
 
 	"silcfm"
 	"silcfm/internal/manifest"
+	"silcfm/internal/stats"
 )
 
 func main() {
@@ -200,7 +201,9 @@ func main() {
 		fmt.Printf("baseline wall:      %.3f s  (%.1f Mcycles/s)\n",
 			base.WallSeconds, base.SimCyclesPerSec/1e6)
 		fmt.Printf("speedup:            %.3f\n", r.SpeedupOver(base))
-		fmt.Printf("EDP vs baseline:    %.3f\n", r.EDP/base.EDP)
+		// stats.Ratio: a zero-length baseline run has EDP 0; report 0
+		// rather than printing Inf/NaN.
+		fmt.Printf("EDP vs baseline:    %.3f\n", stats.Ratio(r.EDP, base.EDP))
 	}
 }
 
@@ -216,9 +219,7 @@ func printJSON(r, base *silcfm.Report, shadow bool) {
 	}{Run: r, Baseline: base}
 	if base != nil {
 		out.Speedup = r.SpeedupOver(base)
-		if base.EDP > 0 {
-			out.EDPRatio = r.EDP / base.EDP
-		}
+		out.EDPRatio = stats.Ratio(r.EDP, base.EDP)
 	}
 	if shadow {
 		out.ShadowCheck = "passed"

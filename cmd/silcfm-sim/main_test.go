@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"silcfm"
+	"silcfm/internal/stats"
+)
+
+// TestPrintJSONZeroBaseline pins the zero-length-baseline guard: comparing
+// against a run with zero cycles and zero energy (EDP 0) must emit a valid
+// JSON document with finite ratios, not NaN/Inf tokens.
+func TestPrintJSONZeroBaseline(t *testing.T) {
+	r := &silcfm.Report{Scheme: "silc", Workload: "milc", Cycles: 1000, EDP: 42}
+	base := &silcfm.Report{Scheme: "base", Workload: "milc"} // zero cycles, zero EDP
+
+	old := os.Stdout
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = pw
+	printJSON(r, base, false)
+	pw.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if bytes.Contains(out, []byte("NaN")) || bytes.Contains(out, []byte("Inf")) {
+		t.Fatalf("JSON output contains NaN/Inf:\n%s", out)
+	}
+	var doc struct {
+		Speedup  float64 `json:"speedup"`
+		EDPRatio float64 `json:"edp_ratio"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if doc.EDPRatio != 0 {
+		t.Fatalf("edp_ratio vs zero-EDP baseline = %v, want 0", doc.EDPRatio)
+	}
+}
+
+// TestEDPTextLineZeroBaseline pins the human-readable comparison line's
+// arithmetic (the same stats.Ratio guard main uses for "EDP vs baseline").
+func TestEDPTextLineZeroBaseline(t *testing.T) {
+	r := &silcfm.Report{EDP: 42}
+	base := &silcfm.Report{} // EDP 0
+	line := strings.TrimSpace(
+		// mirrors the main() report footer formatting
+		"EDP vs baseline: " + stats.F(stats.Ratio(r.EDP, base.EDP)))
+	if strings.Contains(line, "NaN") || strings.Contains(line, "Inf") {
+		t.Fatalf("line contains NaN/Inf: %q", line)
+	}
+	if !strings.HasSuffix(line, "0.000") {
+		t.Fatalf("zero-EDP baseline line = %q, want ratio 0.000", line)
+	}
+}

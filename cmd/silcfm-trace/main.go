@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"silcfm/internal/memunits"
+	"silcfm/internal/stats"
 	"silcfm/internal/workload"
 )
 
@@ -100,15 +101,17 @@ func generate(wl string, n uint64, out string, seed int64, metricsOut string, wi
 			note := ""
 			// Same host-rate/ETA arithmetic as the simulator's telemetry
 			// progress line, in references instead of cycles.
+			// stats.Ratio guards the zero-elapsed and zero-done edges so a
+			// sub-millisecond or empty capture never prints NaN/Inf.
 			if elapsed := time.Since(start).Seconds(); elapsed > 0 {
-				note = fmt.Sprintf(" %.1f Mref/s", float64(done)/elapsed/1e6)
+				note = fmt.Sprintf(" %.1f Mref/s", stats.Ratio(float64(done), elapsed)/1e6)
 				if done < n {
-					eta := time.Duration(elapsed * float64(n-done) / float64(done) * float64(time.Second))
+					eta := time.Duration(elapsed * stats.Ratio(float64(n-done), float64(done)) * float64(time.Second))
 					note += " eta " + eta.Round(time.Second).String()
 				}
 			}
 			fmt.Fprintf(os.Stderr, "progress: refs=%d/%d (%.1f%%)%s\n",
-				done, n, 100*float64(done)/float64(n), note)
+				done, n, 100*stats.Ratio(float64(done), float64(n)), note)
 		}
 	}
 	if mw != nil {
@@ -193,13 +196,11 @@ func (m *windowMetrics) flush() error {
 		Pages:     len(m.pages),
 		Subblocks: len(m.subblocks),
 	}
-	if m.refs > 0 {
-		s.WriteFrac = float64(m.writes) / float64(m.refs)
-		s.MeanGap = float64(m.instr) / float64(m.refs)
-	}
-	if len(m.pages) > 0 {
-		s.SubblocksPerPage = float64(len(m.subblocks)) / float64(len(m.pages))
-	}
+	// stats.Ratio: an empty window (no references, no pages) emits 0 for
+	// each derived rate instead of NaN in the JSONL stream.
+	s.WriteFrac = stats.Ratio(float64(m.writes), float64(m.refs))
+	s.MeanGap = stats.Ratio(float64(m.instr), float64(m.refs))
+	s.SubblocksPerPage = stats.Ratio(float64(len(m.subblocks)), float64(len(m.pages)))
 	b, err := json.Marshal(&s)
 	if err != nil {
 		return err

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestEmptyWindowFlushHasNoNaN pins the empty-trace guard: a window with
+// zero references and zero pages must emit 0 for every derived rate
+// (write_frac, mean_gap, subblocks_per_page), not NaN — a NaN renders as an
+// invalid JSON token and corrupts the JSONL stream.
+func TestEmptyWindowFlushHasNoNaN(t *testing.T) {
+	var buf bytes.Buffer
+	m := newWindowMetrics(&buf, 10)
+	if err := m.flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("empty-window sample contains NaN/Inf: %s", out)
+	}
+	var s windowSample
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("unparseable sample %q: %v", out, err)
+	}
+	if s.WriteFrac != 0 || s.MeanGap != 0 || s.SubblocksPerPage != 0 {
+		t.Fatalf("empty window rates = %v %v %v, want all 0",
+			s.WriteFrac, s.MeanGap, s.SubblocksPerPage)
+	}
+}
+
+// TestPartialWindowRatesFinite feeds one window's worth of references and
+// checks the derived rates stay finite and correct.
+func TestPartialWindowRatesFinite(t *testing.T) {
+	var buf bytes.Buffer
+	m := newWindowMetrics(&buf, 4)
+	m.refs = 4
+	m.writes = 1
+	m.instr = 40
+	m.pages[0] = struct{}{}
+	m.subblocks[0] = struct{}{}
+	m.subblocks[1] = struct{}{}
+	if err := m.flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	var s windowSample
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if s.WriteFrac != 0.25 || s.MeanGap != 10 || s.SubblocksPerPage != 2 {
+		t.Fatalf("rates = %v %v %v, want 0.25 10 2",
+			s.WriteFrac, s.MeanGap, s.SubblocksPerPage)
+	}
+	for _, v := range []float64{s.WriteFrac, s.MeanGap, s.SubblocksPerPage} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite rate %v", v)
+		}
+	}
+}

@@ -11,27 +11,36 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"silcfm/internal/config"
 )
 
-// line is one cache line's metadata.
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint64 // larger = more recently used
-}
-
-// Cache is a single set-associative cache level.
+// Cache is a single set-associative cache level. Line metadata is kept in
+// parallel arrays (structure-of-arrays), with the valid bit folded into the
+// stored tag word (tag<<1 | 1; 0 = invalid), so the per-access way scan is
+// a single equality compare over one contiguous array — a 16-way lookup
+// touches two cache lines of tags instead of eight lines of per-way
+// structs.
 type Cache struct {
 	name     string
 	sets     uint64
 	ways     int
 	lineSize uint64
 	latency  uint64
-	lines    []line // sets*ways, row-major by set
-	clock    uint64 // LRU timestamp source
+	tags     []uint64 // sets*ways, row-major by set; tag<<1|1, 0 = invalid
+	dirty    []bool   // sets*ways
+	lru      []uint64 // larger = more recently used
+	mru      []uint8  // per-set most-recently-touched way, probed first
+	clock    uint64   // LRU timestamp source
+
+	// lineShift/setShift/setMask are the shift-and-mask forms of the
+	// lineSize/sets divisions (both enforced powers of two): index() runs
+	// once per reference per level, and hardware divides dominate it
+	// otherwise.
+	lineShift uint
+	setShift  uint
+	setMask   uint64
 
 	Hits, Misses, Writebacks uint64
 }
@@ -42,13 +51,26 @@ func New(name string, cfg config.CacheConfig) *Cache {
 	if sets == 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, sets))
 	}
+	if cfg.LineSize == 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line size %d not a power of two", name, cfg.LineSize))
+	}
+	if cfg.Ways > 256 {
+		panic(fmt.Sprintf("cache %s: %d ways overflows the uint8 MRU index", name, cfg.Ways))
+	}
+	n := sets * uint64(cfg.Ways)
 	return &Cache{
-		name:     name,
-		sets:     sets,
-		ways:     cfg.Ways,
-		lineSize: cfg.LineSize,
-		latency:  cfg.LatencyCyc,
-		lines:    make([]line, sets*uint64(cfg.Ways)),
+		name:      name,
+		sets:      sets,
+		ways:      cfg.Ways,
+		lineSize:  cfg.LineSize,
+		latency:   cfg.LatencyCyc,
+		tags:      make([]uint64, n),
+		dirty:     make([]bool, n),
+		lru:       make([]uint64, n),
+		mru:       make([]uint8, sets),
+		lineShift: uint(bits.TrailingZeros64(cfg.LineSize)),
+		setShift:  uint(bits.TrailingZeros64(sets)),
+		setMask:   sets - 1,
 	}
 }
 
@@ -59,8 +81,8 @@ func (c *Cache) Latency() uint64 { return c.latency }
 func (c *Cache) Sets() uint64 { return c.sets }
 
 func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
-	blk := addr / c.lineSize
-	return blk % c.sets, blk / c.sets
+	blk := addr >> c.lineShift
+	return blk & c.setMask, blk >> c.setShift
 }
 
 // Access performs a read or write lookup. On a miss it allocates the line,
@@ -71,15 +93,27 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, victimAddr uint64, vi
 	set, tag := c.index(addr)
 	base := set * uint64(c.ways)
 	c.clock++
+	want := tag<<1 | 1
 
-	// Lookup.
-	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+uint64(w)]
-		if l.valid && l.tag == tag {
+	// Lookup: probe the set's most-recently-touched way first. Hit streams
+	// are heavily biased toward it (temporal locality), so the common case
+	// is one compare instead of a way scan; a wrong guess just falls
+	// through to the full scan below.
+	if i := base + uint64(c.mru[set]); c.tags[i] == want {
+		c.Hits++
+		c.lru[i] = c.clock
+		if write {
+			c.dirty[i] = true
+		}
+		return true, 0, false, false
+	}
+	for i := base; i < base+uint64(c.ways); i++ {
+		if c.tags[i] == want {
 			c.Hits++
-			l.lru = c.clock
+			c.lru[i] = c.clock
+			c.mru[set] = uint8(i - base)
 			if write {
-				l.dirty = true
+				c.dirty[i] = true
 			}
 			return true, 0, false, false
 		}
@@ -87,30 +121,31 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, victimAddr uint64, vi
 	c.Misses++
 
 	// Victim selection: invalid way first, else LRU.
-	victim := 0
+	victim := base
 	var oldest uint64 = ^uint64(0)
-	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+uint64(w)]
-		if !l.valid {
-			victim = w
+	for i := base; i < base+uint64(c.ways); i++ {
+		if c.tags[i] == 0 {
+			victim = i
 			oldest = 0
 			break
 		}
-		if l.lru < oldest {
-			oldest = l.lru
-			victim = w
+		if c.lru[i] < oldest {
+			oldest = c.lru[i]
+			victim = i
 		}
 	}
-	v := &c.lines[base+uint64(victim)]
-	victimValid = v.valid
-	victimDirty = v.valid && v.dirty
+	victimValid = c.tags[victim] != 0
+	victimDirty = victimValid && c.dirty[victim]
 	if victimValid {
-		victimAddr = (v.tag*c.sets + set) * c.lineSize
+		victimAddr = ((c.tags[victim]>>1)*c.sets + set) * c.lineSize
 		if victimDirty {
 			c.Writebacks++
 		}
 	}
-	*v = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	c.tags[victim] = want
+	c.dirty[victim] = write
+	c.lru[victim] = c.clock
+	c.mru[set] = uint8(victim - base)
 	return false, victimAddr, victimValid, victimDirty
 }
 
@@ -118,9 +153,8 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, victimAddr uint64, vi
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.index(addr)
 	base := set * uint64(c.ways)
-	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+uint64(w)]
-		if l.valid && l.tag == tag {
+	for i := base; i < base+uint64(c.ways); i++ {
+		if c.tags[i] == tag<<1|1 {
 			return true
 		}
 	}
@@ -131,12 +165,11 @@ func (c *Cache) Probe(addr uint64) bool {
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	set, tag := c.index(addr)
 	base := set * uint64(c.ways)
-	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+uint64(w)]
-		if l.valid && l.tag == tag {
-			d := l.dirty
-			l.valid = false
-			l.dirty = false
+	for i := base; i < base+uint64(c.ways); i++ {
+		if c.tags[i] == tag<<1|1 {
+			d := c.dirty[i]
+			c.tags[i] = 0
+			c.dirty[i] = false
 			return true, d
 		}
 	}

@@ -41,8 +41,13 @@ type Controller struct {
 	// remap entries per set. Same-set metadata operations coalesce at the
 	// controller the way demand misses coalesce in MSHRs.
 	meta          *dram.Device
-	metaBgPend    map[uint64]bool // set -> metadata read queued
-	metaWritePend map[uint64]bool // set -> dirty-update already queued
+	metaBgPend    []bool // set -> metadata read queued
+	metaWritePend []bool // set -> dirty-update already queued
+	// freeMeta/freeDispatch recycle the metadata-completion and serialized
+	//-dispatch continuations so the per-miss control flow allocates
+	// nothing in steady state.
+	freeMeta     *metaOp
+	freeDispatch *dispatchOp
 	// metaLatency is the serialized remap-entry check paid on the demand
 	// path without a correct way/location prediction (one unloaded NM
 	// metadata access; §III-F).
@@ -80,8 +85,8 @@ func New(sys *mem.System, cfg config.SILCConfig) *Controller {
 		pred:          newPredictor(cfg.PredictorEntries),
 		gov:           newBypassGovernor(cfg.Features.Bypass, cfg.BypassTarget),
 		meta:          dram.New(metaCfg, sys.Eng),
-		metaBgPend:    make(map[uint64]bool),
-		metaWritePend: make(map[uint64]bool),
+		metaBgPend:    make([]bool, fs.sets),
+		metaWritePend: make([]bool, fs.sets),
 		ctrMax:        counterMax(cfg.CounterBits),
 	}
 	c.metaLatency = c.meta.UnloadedReadLatency()
@@ -170,7 +175,15 @@ func (c *Controller) Handle(a *mem.Access) {
 		}
 		a.AddSpan(span, c.metaLatency)
 		c.readMeta(b, 64)
-		c.sys.Eng.After(c.metaLatency, func() { c.dispatch(a, b, idx, mispred) })
+		op := c.freeDispatch
+		if op == nil {
+			op = &dispatchOp{c: c}
+			op.fn = op.run
+		} else {
+			c.freeDispatch = op.next
+		}
+		op.a, op.b, op.idx, op.mispred = a, b, idx, mispred
+		c.sys.Eng.After(c.metaLatency, op.fn)
 		return
 	}
 	// Predicted: the verification fetch proceeds off the critical path.
@@ -199,7 +212,59 @@ func (c *Controller) readMeta(b uint64, n uint64) {
 	c.metaBgPend[s] = true
 	c.sys.Stats.AddBytes(stats.NM, stats.Metadata, n)
 	c.meta.Submit(dram.Request{Addr: s * 64, Bytes: n, Background: true,
-		Done: func() { delete(c.metaBgPend, s) }})
+		Done: c.metaDone(s, c.metaBgPend)})
+}
+
+// metaOp is a pooled metadata-request completion: it clears the set's
+// pending flag and recycles itself. fn is the method value bound once at
+// pool-object creation.
+type metaOp struct {
+	c    *Controller
+	s    uint64
+	pend []bool
+	fn   func()
+	next *metaOp
+}
+
+func (op *metaOp) run() {
+	c := op.c
+	op.pend[op.s] = false
+	op.pend = nil
+	op.next = c.freeMeta
+	c.freeMeta = op
+}
+
+// metaDone returns a pooled callback clearing pend[s] at completion.
+func (c *Controller) metaDone(s uint64, pend []bool) func() {
+	op := c.freeMeta
+	if op == nil {
+		op = &metaOp{c: c}
+		op.fn = op.run
+	} else {
+		c.freeMeta = op.next
+	}
+	op.s, op.pend = s, pend
+	return op.fn
+}
+
+// dispatchOp is the pooled continuation of a serialized-metadata dispatch
+// (the After(metaLatency, ...) leg of Handle).
+type dispatchOp struct {
+	c       *Controller
+	a       *mem.Access
+	b       uint64
+	idx     uint
+	mispred bool
+	fn      func()
+	next    *dispatchOp
+}
+
+func (op *dispatchOp) run() {
+	c, a, b, idx, mispred := op.c, op.a, op.b, op.idx, op.mispred
+	op.a = nil
+	op.next = c.freeDispatch
+	c.freeDispatch = op
+	c.dispatch(a, b, idx, mispred)
 }
 
 // actualLocation computes where the requested subblock resides and, when in
@@ -321,7 +386,7 @@ func (c *Controller) handleFMAddress(a *mem.Access, b uint64, idx uint, mispred 
 		c.restore(v)
 		c.Restores++
 	}
-	vf.remap = b
+	c.fs.setRemap(v, b)
 	vf.bits = 0
 	vf.fmCtr = 1
 	vf.lastUse = c.sys.Eng.Now()
@@ -365,7 +430,7 @@ func (c *Controller) restore(f uint64) {
 			c.sys.ExchangeSubblocks(c.nmLoc(f, i), c.fmHome(fr.remap, i), nil)
 		}
 	}
-	fr.remap = noRemap
+	c.fs.setRemap(f, noRemap)
 	fr.bits = 0
 	fr.fmCtr = 0
 	fr.locked = false
@@ -493,7 +558,7 @@ func (c *Controller) writeMetaUpdate(s uint64) {
 	c.metaWritePend[s] = true
 	c.sys.Stats.AddBytes(stats.NM, stats.Metadata, metaEntrySize)
 	c.meta.Submit(dram.Request{Addr: s * 64, Bytes: metaEntrySize, Write: true,
-		Done: func() { delete(c.metaWritePend, s) }})
+		Done: c.metaDone(s, c.metaWritePend)})
 }
 
 // Bypassing reports whether the governor currently suppresses swaps.

@@ -44,6 +44,14 @@ type frameSet struct {
 	frames []frame
 	sets   uint64
 	ways   int
+
+	// remapW mirrors frames[*].remap in per-set-contiguous layout
+	// (remapW[s*ways+w] == frames[frameID(s,w)].remap). findRemap runs
+	// once per LLC miss, and the ways of a set sit sets*sizeof(frame)
+	// bytes apart in the frames array — a cache miss per way probed; the
+	// mirror packs a set's entries into one or two lines. All remap
+	// writes go through setRemap to keep the two in sync.
+	remapW []uint64
 }
 
 func newFrameSet(nmBlocks uint64, ways int) *frameSet {
@@ -55,11 +63,33 @@ func newFrameSet(nmBlocks uint64, ways int) *frameSet {
 		sets = 1
 		ways = int(nmBlocks)
 	}
-	fs := &frameSet{frames: make([]frame, nmBlocks), sets: sets, ways: ways}
+	fs := &frameSet{
+		frames: make([]frame, nmBlocks),
+		sets:   sets,
+		ways:   ways,
+		remapW: make([]uint64, nmBlocks),
+	}
 	for i := range fs.frames {
 		fs.frames[i].remap = noRemap
 	}
+	for i := range fs.remapW {
+		fs.remapW[i] = noRemap
+	}
 	return fs
+}
+
+// setRemap updates frame f's remap entry and its mirror slot.
+func (fs *frameSet) setRemap(f, b uint64) {
+	fs.frames[f].remap = b
+	fs.remapW[(f%fs.sets)*uint64(fs.ways)+f/fs.sets] = b
+}
+
+// rebuildRemapW resyncs the mirror from the frame array (after a bulk
+// restore that bypassed setRemap).
+func (fs *frameSet) rebuildRemapW() {
+	for f := range fs.frames {
+		fs.remapW[(uint64(f)%fs.sets)*uint64(fs.ways)+uint64(f)/fs.sets] = fs.frames[f].remap
+	}
 }
 
 // setOf returns the congruence set of a flat block (NM or FM).
@@ -74,10 +104,10 @@ func (fs *frameSet) wayOf(f uint64) int { return int(f / fs.sets) }
 // findRemap scans set s for the frame holding remap == b. Returns the frame
 // index and true, or 0 and false.
 func (fs *frameSet) findRemap(s, b uint64) (uint64, bool) {
-	for w := 0; w < fs.ways; w++ {
-		f := fs.frameID(s, w)
-		if fs.frames[f].remap == b {
-			return f, true
+	base := s * uint64(fs.ways)
+	for w, r := range fs.remapW[base : base+uint64(fs.ways)] {
+		if r == b {
+			return fs.frameID(s, w), true
 		}
 	}
 	return 0, false

@@ -40,7 +40,7 @@ func TestFindRemap(t *testing.T) {
 	if _, ok := fs.findRemap(3, 1000); ok {
 		t.Fatal("found remap in empty set")
 	}
-	fs.frames[fs.frameID(3, 2)].remap = 1000
+	fs.setRemap(fs.frameID(3, 2), 1000)
 	f, ok := fs.findRemap(3, 1000)
 	if !ok || f != fs.frameID(3, 2) {
 		t.Fatalf("findRemap: %d %v", f, ok)

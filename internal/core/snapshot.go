@@ -89,4 +89,5 @@ func (c *Controller) RestoreState(st *State) {
 		panic("core: RestoreState with mismatched frame geometry")
 	}
 	copy(c.fs.frames, st.frames)
+	c.fs.rebuildRemapW()
 }

@@ -39,20 +39,57 @@ type Core struct {
 	blockedAt   sim.Cycle
 	finished    bool
 
+	// runFn is c.run bound once, so rescheduling the core never allocates.
+	runFn func()
+	// ref is the reference-stream scratch slot. It lives on the core (not
+	// the run loop's stack) because its address crosses the Generator
+	// interface boundary, which would otherwise heap-allocate it per
+	// reference.
+	ref workload.Ref
+	// freeMiss recycles miss tokens (the Access plus its completion
+	// callback) so a steady stream of LLC misses allocates nothing.
+	freeMiss *missToken
+	// doneCtr, when wired by NewComplexTargets, is bumped once when the
+	// core retires its target, giving Complex.AllDone an O(1) answer.
+	doneCtr *int
+
 	Stats stats.Core
+}
+
+// missToken is a pooled in-flight LLC miss: the mem.Access handed to the
+// controller and the completion callback, recycled through the core's free
+// list. doneFn is the method value bound once at token creation.
+type missToken struct {
+	c       *Core
+	instrAt uint64
+	acc     mem.Access
+	doneFn  func()
+	next    *missToken
+}
+
+// fire recycles the token and retires the miss. The token is released first
+// so the resumed core can reuse it for its next miss.
+func (t *missToken) fire() {
+	c := t.c
+	instrAt := t.instrAt
+	t.next = c.freeMiss
+	c.freeMiss = t
+	c.completeMiss(instrAt)
 }
 
 // NewCore wires one core. target is the instruction count to retire.
 func NewCore(id int, cfg config.CoreConfig, eng *sim.Engine, gen workload.Generator,
 	hier *cache.Hierarchy, xlate Translate, ctl mem.Controller, target uint64) *Core {
-	return &Core{
+	c := &Core{
 		id: id, cfg: cfg, eng: eng, gen: gen, hier: hier,
 		xlate: xlate, ctl: ctl, target: target,
 	}
+	c.runFn = c.run
+	return c
 }
 
 // Start schedules the core's first step.
-func (c *Core) Start() { c.eng.At(0, c.run) }
+func (c *Core) Start() { c.eng.At(0, c.runFn) }
 
 // Done reports whether the core has retired its target.
 func (c *Core) Done() bool { return c.finished }
@@ -70,6 +107,9 @@ func (c *Core) run() {
 		if c.instr >= c.target {
 			c.finished = true
 			c.Stats.FinishCycle = c.clock
+			if c.doneCtr != nil {
+				*c.doneCtr++
+			}
 			return
 		}
 		// Structural stalls: MSHRs exhausted, or the ROB window has run
@@ -83,12 +123,12 @@ func (c *Core) run() {
 		// The core's logical clock has outrun the simulation: yield and
 		// resume when the engine catches up.
 		if c.clock > c.eng.Now() {
-			c.eng.At(c.clock, c.run)
+			c.eng.At(c.clock, c.runFn)
 			return
 		}
 
-		var r workload.Ref
-		c.gen.Next(&r)
+		r := &c.ref
+		c.gen.Next(r)
 		c.instr += uint64(r.Gap)
 		c.Stats.Instructions += uint64(r.Gap)
 		c.Stats.MemRefs++
@@ -108,13 +148,16 @@ func (c *Core) run() {
 			// Write-allocate: a store miss fetches the line like a load
 			// miss; memory-level writes happen only on dirty evictions
 			// (the hierarchy's Writeback path).
-			c.ctl.Handle(&mem.Access{
-				Core:  c.id,
-				PC:    r.PC,
-				PAddr: pa,
-				Start: c.eng.Now(),
-				Done:  func() { c.completeMiss(instrAt) },
-			})
+			t := c.freeMiss
+			if t == nil {
+				t = &missToken{c: c}
+				t.doneFn = t.fire
+			} else {
+				c.freeMiss = t.next
+			}
+			t.instrAt = instrAt
+			t.acc.Reset(c.id, r.PC, pa, false, c.eng.Now(), t.doneFn)
+			c.ctl.Handle(&t.acc)
 		}
 	}
 }
@@ -148,6 +191,25 @@ func (c *Core) completeMiss(instrAt uint64) {
 type Complex struct {
 	Cores []*Core
 	Hier  *cache.Hierarchy
+
+	// doneCount tracks retired cores (see Core.doneCtr); freeWB recycles
+	// writeback tokens the same way cores recycle miss tokens.
+	doneCount int
+	freeWB    *wbToken
+}
+
+// wbToken is a pooled dirty-LLC-victim writeback Access; its only
+// completion work is returning itself to the free list.
+type wbToken struct {
+	cx     *Complex
+	acc    mem.Access
+	doneFn func()
+	next   *wbToken
+}
+
+func (t *wbToken) fire() {
+	t.next = t.cx.freeWB
+	t.cx.freeWB = t
 }
 
 // NewComplex builds n cores running the given per-core generators against a
@@ -168,12 +230,22 @@ func NewComplex(m config.Machine, eng *sim.Engine, gens []workload.Generator,
 func NewComplexTargets(m config.Machine, eng *sim.Engine, gens []workload.Generator,
 	xlate Translate, ctl mem.Controller, targets []uint64) *Complex {
 	hier := cache.NewHierarchy(len(gens), m.L1D, m.L2)
-	hier.Writeback = func(pa uint64) {
-		ctl.Handle(&mem.Access{PAddr: pa, Write: true, Start: eng.Now()})
-	}
 	cx := &Complex{Hier: hier}
+	hier.Writeback = func(pa uint64) {
+		t := cx.freeWB
+		if t == nil {
+			t = &wbToken{cx: cx}
+			t.doneFn = t.fire
+		} else {
+			cx.freeWB = t.next
+		}
+		t.acc.Reset(0, 0, pa, true, eng.Now(), t.doneFn)
+		ctl.Handle(&t.acc)
+	}
 	for i, g := range gens {
-		cx.Cores = append(cx.Cores, NewCore(i, m.Core, eng, g, hier, xlate, ctl, targets[i]))
+		c := NewCore(i, m.Core, eng, g, hier, xlate, ctl, targets[i])
+		c.doneCtr = &cx.doneCount
+		cx.Cores = append(cx.Cores, c)
 	}
 	return cx
 }
@@ -185,15 +257,9 @@ func (cx *Complex) Start() {
 	}
 }
 
-// AllDone reports whether every core finished.
-func (cx *Complex) AllDone() bool {
-	for _, c := range cx.Cores {
-		if !c.Done() {
-			return false
-		}
-	}
-	return true
-}
+// AllDone reports whether every core finished. O(1): cores built by
+// NewComplexTargets bump doneCount as they retire their targets.
+func (cx *Complex) AllDone() bool { return cx.doneCount == len(cx.Cores) }
 
 // ExecutionCycles returns the rate-mode execution time: the cycle at which
 // the last core retired its target.

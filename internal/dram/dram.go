@@ -90,9 +90,52 @@ type bankState struct {
 	readyAt sim.Cycle // earliest start of the next command on this bank
 }
 
+// opQueue is a FIFO of ops with a consumed-prefix head index. FR-FCFS only
+// ever removes from within the bounded scheduling window at the front, so
+// removal shifts the short live prefix [0, pick) right by one — O(window) —
+// instead of shifting the unbounded tail left, which dominated the
+// scheduler's cost on long write queues.
+type opQueue struct {
+	ops  []op
+	head int
+}
+
+// pushSlot appends a zeroed op and returns it for in-place fill, avoiding
+// a pass-by-value copy of the wide op struct.
+func (q *opQueue) pushSlot() *op {
+	q.ops = append(q.ops, op{})
+	return &q.ops[len(q.ops)-1]
+}
+
+func (q *opQueue) len() int     { return len(q.ops) - q.head }
+func (q *opQueue) at(i int) *op { return &q.ops[q.head+i] }
+
+// drop discards the op at live position i, preserving the FIFO order of the
+// remainder exactly. The caller must be done with any pointer obtained from
+// at(): the shift invalidates it.
+func (q *opQueue) drop(i int) {
+	p := q.head + i
+	copy(q.ops[q.head+1:p+1], q.ops[q.head:p])
+	q.ops[q.head] = op{} // release Done/Trace references
+	q.head++
+	if q.head == len(q.ops) {
+		q.ops = q.ops[:0]
+		q.head = 0
+	} else if q.head >= 1024 {
+		// A queue that never fully drains would otherwise grow its dead
+		// prefix without bound; compact it occasionally.
+		n := copy(q.ops, q.ops[q.head:])
+		for j := n; j < len(q.ops); j++ {
+			q.ops[j] = op{}
+		}
+		q.ops = q.ops[:n]
+		q.head = 0
+	}
+}
+
 type channel struct {
-	readQ     []op
-	writeQ    []op
+	readQ     opQueue
+	writeQ    opQueue
 	busFreeAt sim.Cycle
 	banks     []bankState
 	inflight  int
@@ -102,12 +145,62 @@ type channel struct {
 	lastRefresh sim.Cycle
 }
 
+// completion is the pooled completion event of one issued op — the state
+// the per-request closure used to capture, recycled through a per-device
+// free list so steady-state issue allocates nothing. fireFn is the method
+// value bound once at pool-object creation and passed to the engine on
+// every reuse.
+type completion struct {
+	d       *Device
+	ch      int
+	done    sim.Cycle
+	arrival sim.Cycle
+	service sim.Cycle
+	isRead  bool
+	cb      func()
+	tr      func(queue, service uint64)
+	fireFn  func()
+	next    *completion
+}
+
+// fire performs the op's completion: it releases the channel's inflight
+// slot, records read latency, reports the latency decomposition, chains the
+// request callback and re-kicks the channel — in exactly the order the
+// original closure did. The completion object is recycled before the
+// callbacks run, so a callback that submits new requests can reuse it.
+func (c *completion) fire() {
+	d := c.d
+	ch := c.ch
+	d.chans[ch].inflight--
+	if c.isRead {
+		d.stats.ReadLatency.Add(c.done - c.arrival)
+	}
+	tr, cb := c.tr, c.cb
+	queue, service := uint64(c.done-c.arrival-c.service), uint64(c.service)
+	c.tr, c.cb = nil, nil
+	c.next = d.freeComp
+	d.freeComp = c
+	if tr != nil {
+		// done >= arrival + service by construction (start >= arrival and
+		// every data-path delay only pushes completion later), so the queue
+		// component never underflows.
+		tr(queue, service)
+	}
+	if cb != nil {
+		cb()
+	}
+	d.kick(ch)
+}
+
 // Device is one DRAM device (a set of channels).
 type Device struct {
 	Cfg   config.DRAMConfig
 	eng   *sim.Engine
 	chans []channel
 	stats Stats
+
+	// freeComp is the completion free list (see completion).
+	freeComp *completion
 
 	// queued mirrors QueueDepth() incrementally (ops submitted but not
 	// yet issued, across all channels); peakQueued is its high-water mark
@@ -183,12 +276,15 @@ func (d *Device) Submit(r Request) {
 	}
 	ch, bank, row := d.mapAddr(r.Addr)
 	c := &d.chans[ch]
-	o := op{req: r, bank: bank, row: row, arrival: d.eng.Now()}
+	q := &c.readQ
 	if r.Write || r.Background {
-		c.writeQ = append(c.writeQ, o)
-	} else {
-		c.readQ = append(c.readQ, o)
+		q = &c.writeQ
 	}
+	s := q.pushSlot()
+	s.req = r
+	s.bank = bank
+	s.row = row
+	s.arrival = d.eng.Now()
 	d.queued++
 	if d.queued > d.peakQueued {
 		d.peakQueued = d.queued
@@ -200,36 +296,38 @@ func (d *Device) Submit(r Request) {
 func (d *Device) kick(ch int) {
 	c := &d.chans[ch]
 	for c.inflight < d.maxInflight {
-		o, ok := d.selectOp(c)
-		if !ok {
+		q, pick := d.selectOp(c)
+		if q == nil {
 			return
 		}
-		d.issue(ch, c, o)
+		d.issue(ch, c, q, pick)
 	}
 }
 
 // selectOp implements FR-FCFS with write draining over the bounded
-// scheduling windows.
-func (d *Device) selectOp(c *channel) (op, bool) {
+// scheduling windows. It returns the queue and live position of the chosen
+// op (nil when nothing is queued); the caller consumes the op in place and
+// drops it, so selection never copies the wide op struct.
+func (d *Device) selectOp(c *channel) (*opQueue, int) {
 	// Enter drain mode when the write queue saturates its window; drain a
 	// small batch so waiting reads are not starved. Reads otherwise have
 	// priority.
 	if c.draining {
-		if len(c.writeQ) <= d.Cfg.WriteQueueLen*3/4 {
+		if c.writeQ.len() <= d.Cfg.WriteQueueLen*3/4 {
 			c.draining = false
 		}
-	} else if len(c.writeQ) >= d.Cfg.WriteQueueLen {
+	} else if c.writeQ.len() >= d.Cfg.WriteQueueLen {
 		c.draining = true
 	}
-	useWrites := c.draining || len(c.readQ) == 0
+	useWrites := c.draining || c.readQ.len() == 0
 	q := &c.readQ
 	if useWrites {
 		q = &c.writeQ
 	}
-	if len(*q) == 0 {
-		return op{}, false
+	if q.len() == 0 {
+		return nil, 0
 	}
-	window := len(*q)
+	window := q.len()
 	limit := d.Cfg.ReadQueueLen
 	if useWrites {
 		limit = d.Cfg.WriteQueueLen
@@ -240,16 +338,14 @@ func (d *Device) selectOp(c *channel) (op, bool) {
 	// First ready (row hit) within the window, else oldest.
 	pick := 0
 	for i := 0; i < window; i++ {
-		b := &c.banks[(*q)[i].bank]
-		if b.openRow >= 0 && uint64(b.openRow) == (*q)[i].row {
+		o := q.at(i)
+		b := &c.banks[o.bank]
+		if b.openRow >= 0 && uint64(b.openRow) == o.row {
 			pick = i
 			break
 		}
 	}
-	o := (*q)[pick]
-	*q = append((*q)[:pick], (*q)[pick+1:]...)
-	d.queued--
-	return o, true
+	return q, pick
 }
 
 // refreshCatchup applies any periodic refreshes due since the channel was
@@ -276,9 +372,10 @@ func (d *Device) refreshCatchup(c *channel, now sim.Cycle) {
 	}
 }
 
-// issue computes the op's timing, reserves bank and bus, and schedules its
-// completion.
-func (d *Device) issue(ch int, c *channel, o op) {
+// issue computes the timing of the op at live position pick of q, reserves
+// bank and bus, schedules its completion, and drops the op from the queue.
+func (d *Device) issue(ch int, c *channel, q *opQueue, pick int) {
+	o := q.at(pick)
 	b := &c.banks[o.bank]
 	now := d.eng.Now()
 	d.refreshCatchup(c, now)
@@ -369,26 +466,23 @@ func (d *Device) issue(ch int, c *channel, o op) {
 	}
 
 	c.inflight++
-	cb := o.req.Done
-	tr := o.req.Trace
-	arrival := o.arrival
-	isRead := !o.req.Write
-	d.eng.At(done, func() {
-		c.inflight--
-		if isRead {
-			d.stats.ReadLatency.Add(done - arrival)
-		}
-		if tr != nil {
-			// done >= arrival + service by construction (start >= arrival
-			// and every data-path delay only pushes completion later), so
-			// the queue component never underflows.
-			tr(uint64(done-arrival-service), uint64(service))
-		}
-		if cb != nil {
-			cb()
-		}
-		d.kick(ch)
-	})
+	comp := d.freeComp
+	if comp == nil {
+		comp = &completion{d: d}
+		comp.fireFn = comp.fire
+	} else {
+		d.freeComp = comp.next
+	}
+	comp.ch = ch
+	comp.done = done
+	comp.arrival = o.arrival
+	comp.service = service
+	comp.isRead = !o.req.Write
+	comp.cb = o.req.Done
+	comp.tr = o.req.Trace
+	q.drop(pick) // o is dead past this point
+	d.queued--
+	d.eng.At(done, comp.fireFn)
 }
 
 // PendingBytes reports bytes (including extended-burst metadata) submitted
@@ -398,11 +492,10 @@ func (d *Device) issue(ch int, c *channel, o op) {
 func (d *Device) PendingBytes() uint64 {
 	var n uint64
 	for i := range d.chans {
-		for _, o := range d.chans[i].readQ {
-			n += o.req.Bytes + o.req.MetaBytes
-		}
-		for _, o := range d.chans[i].writeQ {
-			n += o.req.Bytes + o.req.MetaBytes
+		for _, q := range []*opQueue{&d.chans[i].readQ, &d.chans[i].writeQ} {
+			for _, o := range q.ops[q.head:] {
+				n += o.req.Bytes + o.req.MetaBytes
+			}
 		}
 	}
 	return n
@@ -426,7 +519,7 @@ func (d *Device) TakePeakQueueDepth() int {
 func (d *Device) QueueDepth() int {
 	n := 0
 	for i := range d.chans {
-		n += len(d.chans[i].readQ) + len(d.chans[i].writeQ)
+		n += d.chans[i].readQ.len() + d.chans[i].writeQ.len()
 	}
 	return n
 }

@@ -517,3 +517,28 @@ func TestPeakQueueDepthHighWaterMark(t *testing.T) {
 		t.Fatalf("idle epoch peak = %d, want 0", got)
 	}
 }
+
+// TestSteadyStateRequestAllocs pins the request pool: once the queues,
+// completion free list and engine wheel are warm, a submit/complete cycle
+// allocates nothing — the tentpole's per-request closure and op-copy heap
+// traffic must not creep back in.
+func TestSteadyStateRequestAllocs(t *testing.T) {
+	eng, d := newFM(t)
+	done := func() {}
+	// Warm up: grow every queue slice, the completion free list, and the
+	// scheduler's wheel buckets.
+	for i := 0; i < 2000; i++ {
+		d.Submit(Request{Addr: uint64(i%64) * 64, Done: done})
+		d.Submit(Request{Addr: uint64(i%64) * 64, Write: true, Done: done})
+	}
+	eng.Run()
+
+	avg := testing.AllocsPerRun(500, func() {
+		d.Submit(Request{Addr: 4096, Done: done})
+		d.Submit(Request{Addr: 8192, Write: true, Done: done})
+		eng.Run()
+	})
+	if avg > 0 {
+		t.Fatalf("steady-state request path allocates %.2f objects/op, want 0", avg)
+	}
+}

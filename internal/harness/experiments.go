@@ -129,17 +129,12 @@ func (s *SweepResult) WallFooter() string {
 			}
 			wall += r.WallSeconds
 			cycles += r.Cycles
-			if r.SimCyclesPerSec > 0 {
-				loop += float64(r.Cycles) / r.SimCyclesPerSec
-			}
+			loop += stats.Ratio(float64(r.Cycles), r.SimCyclesPerSec)
 		}
 		if wall == 0 {
 			continue
 		}
-		tput := 0.0
-		if loop > 0 {
-			tput = float64(cycles) / loop
-		}
+		tput := stats.Ratio(float64(cycles), loop)
 		fmt.Fprintf(&b, "; %s %.1fs @ %.1f Mcyc/s", label, wall, tput/1e6)
 	}
 	return b.String()

@@ -355,9 +355,7 @@ func Run(spec Spec) (*Result, error) {
 	// strict quiesced form after a full drain.
 	res.ConservationErr = stats.CheckConservation(sys.Conservation(false, extraNM...))
 	res.WallSeconds = time.Since(wallStart).Seconds()
-	if loopSeconds > 0 {
-		res.SimCyclesPerSec = float64(res.Cycles) / loopSeconds
-	}
+	res.SimCyclesPerSec = stats.Ratio(float64(res.Cycles), loopSeconds)
 	return res, nil
 }
 

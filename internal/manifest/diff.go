@@ -15,13 +15,41 @@ import (
 type DiffOptions struct {
 	// Noise is the relative band (e.g. 0.10 for ±10%) within which
 	// host-timing metrics may drift without counting as a breach. 0 skips
-	// host comparison entirely — the right setting when the two manifests
-	// come from different machines (e.g. CI vs. the committed baseline).
+	// a metric's comparison entirely — the right setting when the two
+	// manifests come from different machines (e.g. CI vs. the committed
+	// baseline).
 	Noise float64
+	// SpeedNoise, when > 0, overrides Noise for the direction-aware
+	// host.sim_cycles_per_sec band (a breach only when the new run is
+	// slower by more than the band). Host timing jitters far more than
+	// counters, so the speed gate usually wants a wider band than
+	// wall-clock sanity checks.
+	SpeedNoise float64
+	// AllocNoise, when > 0, overrides Noise for the direction-aware
+	// host.alloc_objects / host.alloc_bytes bands (a breach only when the
+	// new run allocates more). Allocation counts are nearly deterministic,
+	// so this band can be much tighter than the timing ones.
+	AllocNoise float64
 	// Subset allows entries present in the old manifest but absent from the
 	// new one (a -short rerun of a full suite). Entries present only in the
 	// new manifest always fail: a baseline must be refreshed deliberately.
 	Subset bool
+}
+
+// speedBand/allocBand resolve the per-metric bands with their Noise
+// fallback.
+func (o DiffOptions) speedBand() float64 {
+	if o.SpeedNoise > 0 {
+		return o.SpeedNoise
+	}
+	return o.Noise
+}
+
+func (o DiffOptions) allocBand() float64 {
+	if o.AllocNoise > 0 {
+		return o.AllocNoise
+	}
+	return o.Noise
 }
 
 // Diff is the verdict of comparing two manifests.
@@ -136,33 +164,34 @@ func (d *Diff) compareEntry(id string, oe, ne Entry, opt DiffOptions) error {
 		}
 	}
 
-	if opt.Noise <= 0 {
+	if opt.Noise <= 0 && opt.speedBand() <= 0 && opt.allocBand() <= 0 {
 		return nil
 	}
 	for _, h := range []struct {
 		name     string
 		old, new float64
-		// lowerOnly breaches only when the new value is worse (slower /
+		// worseIsHigher breaches only when the new value is worse (slower /
 		// bigger); getting faster or leaner is never a regression.
 		worseIsHigher bool
+		band          float64
 	}{
-		{"host.wall_seconds", oe.Host.WallSeconds, ne.Host.WallSeconds, true},
-		{"host.sim_cycles_per_sec", oe.Host.SimCyclesPerSec, ne.Host.SimCyclesPerSec, false},
-		{"host.alloc_objects", float64(oe.Host.AllocObjects), float64(ne.Host.AllocObjects), true},
-		{"host.alloc_bytes", float64(oe.Host.AllocBytes), float64(ne.Host.AllocBytes), true},
+		{"host.wall_seconds", oe.Host.WallSeconds, ne.Host.WallSeconds, true, opt.Noise},
+		{"host.sim_cycles_per_sec", oe.Host.SimCyclesPerSec, ne.Host.SimCyclesPerSec, false, opt.speedBand()},
+		{"host.alloc_objects", float64(oe.Host.AllocObjects), float64(ne.Host.AllocObjects), true, opt.allocBand()},
+		{"host.alloc_bytes", float64(oe.Host.AllocBytes), float64(ne.Host.AllocBytes), true, opt.allocBand()},
 	} {
-		if h.old == 0 && h.new == 0 {
+		if h.band <= 0 || (h.old == 0 && h.new == 0) {
 			continue
 		}
 		verdict, rel := "ok", 0.0
 		if h.old > 0 {
 			rel = h.new/h.old - 1
-			breach := rel > opt.Noise
+			breach := rel > h.band
 			if !h.worseIsHigher {
-				breach = rel < -opt.Noise
+				breach = rel < -h.band
 			}
 			if breach {
-				verdict = fmt.Sprintf("FAIL outside ±%.0f%% band", opt.Noise*100)
+				verdict = fmt.Sprintf("FAIL outside ±%.0f%% band", h.band*100)
 				d.HostBreaches++
 			}
 		}

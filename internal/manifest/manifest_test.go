@@ -276,6 +276,74 @@ func TestCompareHostNoiseBand(t *testing.T) {
 	}
 }
 
+// TestCompareSpeedAllocBands pins the direction-aware perf gates: SpeedNoise
+// bounds how much slower sim_cycles_per_sec may get, AllocNoise bounds how
+// much alloc_objects/alloc_bytes may grow, and each works with Noise 0 (the
+// cross-machine setting where wall-clock sanity checks are meaningless).
+func TestCompareSpeedAllocBands(t *testing.T) {
+	base := func() *Manifest {
+		m := testManifest("a", "silc/milc")
+		m.Entries[0].Host.AllocObjects = 10_000
+		m.Entries[0].Host.AllocBytes = 1 << 20
+		return m
+	}
+	old := base()
+
+	// 40% slower: inside a ±60% speed band, outside ±10%.
+	slower := base()
+	slower.Entries[0].Host.SimCyclesPerSec *= 0.6
+	d, err := Compare(old, slower, DiffOptions{Noise: 0, SpeedNoise: 0.60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("-40%% speed inside ±60%% band must pass: %s", d.Summary())
+	}
+	d, err = Compare(old, slower, DiffOptions{Noise: 0, SpeedNoise: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() || d.HostBreaches != 1 {
+		t.Fatalf("-40%% speed outside ±10%% band must breach once: %s", d.Summary())
+	}
+
+	// Allocating double breaches a tight alloc band (objects and bytes),
+	// even with Noise and SpeedNoise unset.
+	leaky := base()
+	leaky.Entries[0].Host.AllocObjects *= 2
+	leaky.Entries[0].Host.AllocBytes *= 2
+	d, err = Compare(old, leaky, DiffOptions{Noise: 0, AllocNoise: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() || d.HostBreaches != 2 {
+		t.Fatalf("2x allocs outside ±25%% band must breach twice: %s", d.Summary())
+	}
+
+	// Getting faster and leaner is never a regression, however tight the
+	// bands.
+	better := base()
+	better.Entries[0].Host.SimCyclesPerSec *= 4
+	better.Entries[0].Host.AllocObjects /= 4
+	better.Entries[0].Host.AllocBytes /= 4
+	d, err = Compare(old, better, DiffOptions{Noise: 0, SpeedNoise: 0.01, AllocNoise: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("faster+leaner must pass any band: %s", d.Summary())
+	}
+
+	// With no per-metric override, SpeedNoise/AllocNoise fall back to Noise.
+	d, err = Compare(old, leaky, DiffOptions{Noise: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatalf("alloc growth must fall back to the Noise band: %s", d.Summary())
+	}
+}
+
 func TestCompareEntryCoverage(t *testing.T) {
 	old := testManifest("a", "silc/milc", "silc/mcf")
 	short := testManifest("b", "silc/milc")

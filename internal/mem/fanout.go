@@ -6,10 +6,24 @@ import "silcfm/internal/stats"
 // so independent consumers (the shadow integrity checker, the telemetry
 // movement tracer, the hotness profiler) compose instead of fighting over
 // the single Obs slot. It always implements SchemeObserver and
-// DemandObserver, forwarding those optional events only to members that
-// handle them.
+// DemandObserver; which members handle those optional events is resolved
+// once at attach time into typed slices, so the per-event fanout is a plain
+// slice walk with no dynamic type assertions.
 type fanout struct {
-	obs []Observer
+	obs    []Observer
+	scheme []SchemeObserver // members implementing SchemeObserver, attach order
+	demand []DemandObserver // members implementing DemandObserver, attach order
+}
+
+// add appends o and updates the typed views.
+func (f *fanout) add(o Observer) {
+	f.obs = append(f.obs, o)
+	if so, ok := o.(SchemeObserver); ok {
+		f.scheme = append(f.scheme, so)
+	}
+	if do, ok := o.(DemandObserver); ok {
+		f.demand = append(f.demand, do)
+	}
 }
 
 func (f *fanout) Demand(pa uint64, loc Location, write bool) {
@@ -37,34 +51,26 @@ func (f *fanout) Relocate(src, dst Location) {
 }
 
 func (f *fanout) Swap(a, b Location) {
-	for _, o := range f.obs {
-		if so, ok := o.(SchemeObserver); ok {
-			so.Swap(a, b)
-		}
+	for _, so := range f.scheme {
+		so.Swap(a, b)
 	}
 }
 
 func (f *fanout) Lock(frame, block uint64, home bool) {
-	for _, o := range f.obs {
-		if so, ok := o.(SchemeObserver); ok {
-			so.Lock(frame, block, home)
-		}
+	for _, so := range f.scheme {
+		so.Lock(frame, block, home)
 	}
 }
 
 func (f *fanout) Unlock(frame, block uint64) {
-	for _, o := range f.obs {
-		if so, ok := o.(SchemeObserver); ok {
-			so.Unlock(frame, block)
-		}
+	for _, so := range f.scheme {
+		so.Unlock(frame, block)
 	}
 }
 
 func (f *fanout) DemandComplete(a *Access, path stats.DemandPath, lat uint64) {
-	for _, o := range f.obs {
-		if do, ok := o.(DemandObserver); ok {
-			do.DemandComplete(a, path, lat)
-		}
+	for _, do := range f.demand {
+		do.DemandComplete(a, path, lat)
 	}
 }
 
@@ -85,8 +91,16 @@ func (s *System) AttachObserver(o Observer) {
 	case nil:
 		s.Obs = o
 	case *fanout:
-		cur.obs = append(cur.obs, o)
+		cur.add(o)
 	default:
-		s.Obs = &fanout{obs: []Observer{cur, o}}
+		f := &fanout{}
+		f.add(cur)
+		f.add(o)
+		s.Obs = f
 	}
+	// Resolve the optional-interface views once per attach; the per-event
+	// NoteSwap/NoteLock/NoteUnlock and demand-completion paths then do a nil
+	// check instead of a dynamic type assertion.
+	s.obsScheme, _ = s.Obs.(SchemeObserver)
+	s.obsDemand, _ = s.Obs.(DemandObserver)
 }

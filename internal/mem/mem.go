@@ -37,6 +37,28 @@ type Access struct {
 	// DemandDone folds them into System.Attr with the residual in
 	// stats.SpanOther.
 	spans [stats.NumSpans]uint64
+
+	// sys/path record the DemandDone classification so the prebound
+	// completion callback below can fold the access into the accounting.
+	sys  *System
+	path stats.DemandPath
+
+	// traceFn/completeFn are this access's callbacks (SpanTrace and the
+	// DemandDone completion), bound lazily on first use and then reused —
+	// a pooled access recycled through Reset never allocates them again.
+	traceFn    func(queue, service uint64)
+	completeFn func()
+}
+
+// Reset prepares a pooled Access for reuse: it reinitializes the public
+// fields and clears the accumulated spans while preserving the lazily bound
+// callbacks, which is what makes recycling allocation-free. Only legal once
+// the previous use has fully completed.
+func (a *Access) Reset(core int, pc, paddr uint64, write bool, start uint64, done func()) {
+	a.Core, a.PC, a.PAddr, a.Write, a.Start, a.Done = core, pc, paddr, write, start, done
+	a.sys = nil
+	a.path = 0
+	a.spans = [stats.NumSpans]uint64{}
 }
 
 // AddSpan charges cycles of this access's latency to span s.
@@ -50,12 +72,17 @@ func (a *Access) AddSpan(s stats.Span, cycles uint64) {
 func (a *Access) Spans() [stats.NumSpans]uint64 { return a.spans }
 
 // SpanTrace returns a dram.Request Trace callback that charges the demand
-// device request's queue-wait and service time to this access.
+// device request's queue-wait and service time to this access. The callback
+// is bound once per Access and reused across calls (and across pooled
+// reuses via Reset).
 func (a *Access) SpanTrace() func(queue, service uint64) {
-	return func(queue, service uint64) {
-		a.spans[stats.SpanQueue] += queue
-		a.spans[stats.SpanService] += service
+	if a.traceFn == nil {
+		a.traceFn = func(queue, service uint64) {
+			a.spans[stats.SpanQueue] += queue
+			a.spans[stats.SpanService] += service
+		}
 	}
+	return a.traceFn
 }
 
 // Location is a device-level position of one subblock.
@@ -169,14 +196,160 @@ type System struct {
 
 	// Obs, when non-nil, receives semantic data-movement events from the
 	// compound operations below (and Note* calls from schemes with custom
-	// movement paths).
+	// movement paths). Set it through AttachObserver, which also refreshes
+	// the cached optional-interface views below; assigning the field
+	// directly leaves the SchemeObserver/DemandObserver event streams
+	// unwired.
 	Obs Observer
+
+	// obsScheme/obsDemand are Obs's optional-interface views, resolved once
+	// in AttachObserver so per-event dispatch skips the type assertion.
+	obsScheme SchemeObserver
+	obsDemand DemandObserver
 
 	// FaultInjectSwapOrder reintroduces the pre-fix SwapDemand write-path
 	// ordering bug (demand write submitted before dst's old contents are
 	// read out, destroying them). Test-only: proves the shadow checker
 	// detects the hazard.
 	FaultInjectSwapOrder bool
+
+	// freeExch/freeSwap/freeRelay are free lists of pooled continuation
+	// objects for the compound movement operations below, so steady-state
+	// swaps and migrations schedule no closure allocations.
+	freeExch  *exchOp
+	freeSwap  *swapOp
+	freeRelay *relayOp
+}
+
+// exchOp is the pooled continuation of one two-way exchange
+// (ExchangeSubblocks / ExchangeBlocksDMA): both read-completion callbacks
+// and the two-write join, method values bound once at pool-object creation.
+type exchOp struct {
+	s         *System
+	a, b      Location
+	n         uint64
+	remaining int
+	fin       func()
+
+	readAFn, readBFn, joinFn func()
+
+	next *exchOp
+}
+
+func (s *System) getExch(a, b Location, n uint64, fin func()) *exchOp {
+	op := s.freeExch
+	if op == nil {
+		op = &exchOp{s: s}
+		op.readAFn = op.readADone
+		op.readBFn = op.readBDone
+		op.joinFn = op.writeDone
+	} else {
+		s.freeExch = op.next
+	}
+	op.a, op.b, op.n, op.fin, op.remaining = a, b, n, fin, 2
+	return op
+}
+
+func (op *exchOp) readADone() { op.s.Write(op.b, op.n, stats.Migration, op.joinFn) }
+func (op *exchOp) readBDone() { op.s.Write(op.a, op.n, stats.Migration, op.joinFn) }
+
+// writeDone joins the two migration writes; the second one recycles the op
+// and then chains fin, exactly like the dram.Join(2, fin) it replaces.
+func (op *exchOp) writeDone() {
+	op.remaining--
+	if op.remaining > 0 {
+		return
+	}
+	s, fin := op.s, op.fin
+	op.fin = nil
+	op.next = s.freeExch
+	s.freeExch = op
+	if fin != nil {
+		fin()
+	}
+}
+
+// swapOp is the pooled continuation of one read-path SwapDemand: the demand
+// read's completion (chain done, then push src's new data to dst) and the
+// buffered migration read's completion (push dst's old data to src).
+type swapOp struct {
+	s        *System
+	src, dst Location
+	done     func()
+	pending  int
+
+	demandFn, migFn func()
+
+	next *swapOp
+}
+
+func (s *System) getSwap(src, dst Location, done func()) *swapOp {
+	op := s.freeSwap
+	if op == nil {
+		op = &swapOp{s: s}
+		op.demandFn = op.demandDone
+		op.migFn = op.migDone
+	} else {
+		s.freeSwap = op.next
+	}
+	op.src, op.dst, op.done, op.pending = src, dst, done, 2
+	return op
+}
+
+func (op *swapOp) demandDone() {
+	if op.done != nil {
+		op.done()
+	}
+	op.s.Write(op.dst, memunits.SubblockSize, stats.Migration, nil)
+	op.release()
+}
+
+func (op *swapOp) migDone() {
+	op.s.Write(op.src, memunits.SubblockSize, stats.Migration, nil)
+	op.release()
+}
+
+func (op *swapOp) release() {
+	op.pending--
+	if op.pending == 0 {
+		op.done = nil
+		op.next = op.s.freeSwap
+		op.s.freeSwap = op
+	}
+}
+
+// relayOp is the pooled continuation of a read-then-write copy: when the
+// read completes, write n bytes to dst (migration class) with fin chained
+// to the write. Used by the SwapDemand write path and RelocateBlockDMA.
+type relayOp struct {
+	s   *System
+	dst Location
+	n   uint64
+	fin func()
+
+	fn func()
+
+	next *relayOp
+}
+
+func (s *System) getRelay(dst Location, n uint64, fin func()) *relayOp {
+	op := s.freeRelay
+	if op == nil {
+		op = &relayOp{s: s}
+		op.fn = op.run
+	} else {
+		s.freeRelay = op.next
+	}
+	op.dst, op.n, op.fin = dst, n, fin
+	return op
+}
+
+func (op *relayOp) run() {
+	s, dst, n, fin := op.s, op.dst, op.n, op.fin
+	op.fin = nil
+	op.next = s.freeRelay
+	s.freeRelay = op
+	s.Write(dst, n, stats.Migration, fin)
 }
 
 // NewSystem builds devices for machine m on engine eng. For the no-NM
@@ -250,7 +423,7 @@ func (s *System) NoteRelocate(src, dst Location) {
 // NoteSwap reports an initiated exchange to observers implementing
 // SchemeObserver.
 func (s *System) NoteSwap(a, b Location) {
-	if so, ok := s.Obs.(SchemeObserver); ok {
+	if so := s.obsScheme; so != nil {
 		so.Swap(a, b)
 	}
 }
@@ -258,7 +431,7 @@ func (s *System) NoteSwap(a, b Location) {
 // NoteLock reports a frame lock over flat block index block to observers
 // implementing SchemeObserver.
 func (s *System) NoteLock(frame, block uint64, home bool) {
-	if so, ok := s.Obs.(SchemeObserver); ok {
+	if so := s.obsScheme; so != nil {
 		so.Lock(frame, block, home)
 	}
 }
@@ -266,7 +439,7 @@ func (s *System) NoteLock(frame, block uint64, home bool) {
 // NoteUnlock reports a frame unlock to observers implementing
 // SchemeObserver; block is the flat block index the frame had pinned.
 func (s *System) NoteUnlock(frame, block uint64) {
-	if so, ok := s.Obs.(SchemeObserver); ok {
+	if so := s.obsScheme; so != nil {
 		so.Unlock(frame, block)
 	}
 }
@@ -279,35 +452,44 @@ func (s *System) NoteUnlock(frame, block uint64) {
 // be invoked exactly once; the conservation audit counts the callbacks
 // still outstanding.
 func (s *System) DemandDone(a *Access, path stats.DemandPath) func() {
-	done := a.Done
 	if s.Lat == nil {
-		return done
+		return a.Done
 	}
 	s.inflight++
-	return func() {
-		total := s.Eng.Now() - a.Start
-		var known uint64
-		for sp := stats.Span(0); sp < stats.SpanOther; sp++ {
-			known += a.spans[sp]
-		}
-		if known <= total {
-			// The residual (any wait the instrumentation does not name)
-			// lands in SpanOther so the span sum telescopes to the
-			// end-to-end latency exactly. An overshoot is left unbalanced
-			// for CheckConservation to flag instead of clamping it away.
-			a.spans[stats.SpanOther] = total - known
-		}
-		s.Lat.Observe(path, total)
-		if s.Attr != nil {
-			s.Attr.Observe(path, &a.spans)
-		}
-		s.inflight--
-		if do, ok := s.Obs.(DemandObserver); ok {
-			do.DemandComplete(a, path, total)
-		}
-		if done != nil {
-			done()
-		}
+	a.sys = s
+	a.path = path
+	if a.completeFn == nil {
+		a.completeFn = a.complete
+	}
+	return a.completeFn
+}
+
+// complete is the DemandDone completion body, held as a prebound method
+// value on the access so classification allocates nothing.
+func (a *Access) complete() {
+	s := a.sys
+	total := s.Eng.Now() - a.Start
+	var known uint64
+	for sp := stats.Span(0); sp < stats.SpanOther; sp++ {
+		known += a.spans[sp]
+	}
+	if known <= total {
+		// The residual (any wait the instrumentation does not name)
+		// lands in SpanOther so the span sum telescopes to the
+		// end-to-end latency exactly. An overshoot is left unbalanced
+		// for CheckConservation to flag instead of clamping it away.
+		a.spans[stats.SpanOther] = total - known
+	}
+	s.Lat.Observe(a.path, total)
+	if s.Attr != nil {
+		s.Attr.Observe(a.path, &a.spans)
+	}
+	s.inflight--
+	if do := s.obsDemand; do != nil {
+		do.DemandComplete(a, a.path, total)
+	}
+	if a.Done != nil {
+		a.Done()
 	}
 }
 
@@ -423,13 +605,9 @@ func (s *System) ExchangeSubblocks(a, b Location, fin func()) {
 	s.NoteCapture(b)
 	s.NoteDeliver(a, b)
 	s.NoteDeliver(b, a)
-	join := dram.Join(2, fin)
-	s.Read(a, memunits.SubblockSize, stats.Migration, func() {
-		s.Write(b, memunits.SubblockSize, stats.Migration, join)
-	})
-	s.Read(b, memunits.SubblockSize, stats.Migration, func() {
-		s.Write(a, memunits.SubblockSize, stats.Migration, join)
-	})
+	op := s.getExch(a, b, memunits.SubblockSize, fin)
+	s.Read(a, memunits.SubblockSize, stats.Migration, op.readAFn)
+	s.Read(b, memunits.SubblockSize, stats.Migration, op.readBFn)
 }
 
 // SwapDemand services a demand access to flat address pa whose subblock
@@ -474,9 +652,7 @@ func (s *System) swapDemand(pa uint64, src, dst Location, write bool, trace func
 		s.NoteCapture(dst)
 		s.NoteDemand(pa, dst, true)
 		s.NoteDeliver(dst, src)
-		s.Read(dst, memunits.SubblockSize, stats.Migration, func() {
-			s.Write(src, memunits.SubblockSize, stats.Migration, nil)
-		})
+		s.Read(dst, memunits.SubblockSize, stats.Migration, s.getRelay(src, memunits.SubblockSize, nil).fn)
 		s.Write(dst, memunits.SubblockSize, stats.Demand, nil)
 		if done != nil {
 			done()
@@ -488,15 +664,9 @@ func (s *System) swapDemand(pa uint64, src, dst Location, write bool, trace func
 	s.NoteCapture(dst)
 	s.NoteDeliver(src, dst)
 	s.NoteDeliver(dst, src)
-	s.readTraced(src, memunits.SubblockSize, stats.Demand, trace, func() {
-		if done != nil {
-			done()
-		}
-		s.Write(dst, memunits.SubblockSize, stats.Migration, nil)
-	})
-	s.Read(dst, memunits.SubblockSize, stats.Migration, func() {
-		s.Write(src, memunits.SubblockSize, stats.Migration, nil)
-	})
+	op := s.getSwap(src, dst, done)
+	s.readTraced(src, memunits.SubblockSize, stats.Demand, trace, op.demandFn)
+	s.Read(dst, memunits.SubblockSize, stats.Migration, op.migFn)
 }
 
 // subblockAt returns the location of subblock i within the block at loc.
@@ -515,13 +685,9 @@ func (s *System) ExchangeBlocksDMA(a, b Location, fin func()) {
 		s.NoteDeliver(subblockAt(a, i), subblockAt(b, i))
 		s.NoteDeliver(subblockAt(b, i), subblockAt(a, i))
 	}
-	join := dram.Join(2, fin)
-	s.ReadBackground(a, memunits.BlockSize, stats.Migration, func() {
-		s.Write(b, memunits.BlockSize, stats.Migration, join)
-	})
-	s.ReadBackground(b, memunits.BlockSize, stats.Migration, func() {
-		s.Write(a, memunits.BlockSize, stats.Migration, join)
-	})
+	op := s.getExch(a, b, memunits.BlockSize, fin)
+	s.ReadBackground(a, memunits.BlockSize, stats.Migration, op.readAFn)
+	s.ReadBackground(b, memunits.BlockSize, stats.Migration, op.readBFn)
 }
 
 // RelocateBlockDMA copies the 2 KB block at src over dst one-way with a
@@ -532,9 +698,7 @@ func (s *System) RelocateBlockDMA(src, dst Location, fin func()) {
 	for i := uint(0); i < memunits.SubblocksPerBlock; i++ {
 		s.NoteRelocate(subblockAt(src, i), subblockAt(dst, i))
 	}
-	s.ReadBackground(src, memunits.BlockSize, stats.Migration, func() {
-		s.Write(dst, memunits.BlockSize, stats.Migration, fin)
-	})
+	s.ReadBackground(src, memunits.BlockSize, stats.Migration, s.getRelay(dst, memunits.BlockSize, fin).fn)
 }
 
 // Conservation assembles the cross-counter invariant inputs for

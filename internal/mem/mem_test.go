@@ -153,7 +153,7 @@ func TestSwapDemandReadTraffic(t *testing.T) {
 func TestSwapDemandWriteOrdering(t *testing.T) {
 	eng, s := newSys()
 	obs := &recObs{}
-	s.Obs = obs
+	s.AttachObserver(obs)
 	src := Location{Level: stats.FM, DevAddr: 0}
 	dst := Location{Level: stats.NM, DevAddr: 0}
 	s.SwapDemand(128<<10, src, dst, true, nil)
@@ -170,7 +170,7 @@ func TestSwapDemandWriteOrdering(t *testing.T) {
 
 	eng2, s2 := newSys()
 	obs2 := &recObs{}
-	s2.Obs = obs2
+	s2.AttachObserver(obs2)
 	s2.FaultInjectSwapOrder = true
 	s2.SwapDemand(128<<10, src, dst, true, nil)
 	eng2.Run()
@@ -183,7 +183,7 @@ func TestSwapDemandWriteOrdering(t *testing.T) {
 func TestExchangeSubblocksEvents(t *testing.T) {
 	eng, s := newSys()
 	obs := &recObs{}
-	s.Obs = obs
+	s.AttachObserver(obs)
 	s.ExchangeSubblocks(
 		Location{Level: stats.NM, DevAddr: 0},
 		Location{Level: stats.FM, DevAddr: 0}, nil)
@@ -197,7 +197,7 @@ func TestExchangeSubblocksEvents(t *testing.T) {
 func TestBlockDMATraffic(t *testing.T) {
 	eng, s := newSys()
 	obs := &recObs{}
-	s.Obs = obs
+	s.AttachObserver(obs)
 	fin := 0
 	s.ExchangeBlocksDMA(
 		Location{Level: stats.NM, DevAddr: 0},

@@ -34,6 +34,71 @@ type Controller struct {
 	// nmForeign counts NM slots currently holding a line other than their
 	// own member 0 (maintained incrementally by swapIntoNM; a gauge).
 	nmForeign uint64
+
+	// freeSwap recycles swapOp continuation records so steady-state FM-hit
+	// swaps allocate nothing.
+	freeSwap *swapOp
+}
+
+// swapOp carries one FM-hit access through its serialized continuations:
+// the remap-entry check in NM (whose extended burst reads out the victim),
+// then for reads the FM demand fetch. The callbacks are method values bound
+// once when the record is first built, so reusing a record costs no
+// allocation; each terminal callback copies what it needs to locals and
+// recycles the record before issuing follow-on requests.
+type swapOp struct {
+	c         *Controller
+	a         *mem.Access
+	done      func()
+	metaStart uint64
+	fmLoc     mem.Location
+	nmSlot    mem.Location
+	evictLoc  mem.Location
+	metaFn    func() // bound metaDone
+	demandFn  func() // bound demandDone
+	next      *swapOp
+}
+
+func (o *swapOp) release() {
+	o.a = nil
+	o.done = nil
+	o.next = o.c.freeSwap
+	o.c.freeSwap = o
+}
+
+func (o *swapOp) metaDone() {
+	c := o.c
+	a := o.a
+	// Everything up to here was the serialized remap-entry check in NM
+	// (queue + extended-burst service of the victim line): charge it as
+	// metadata-fetch time on the demand path.
+	a.AddSpan(stats.SpanMetaFetch, c.sys.Eng.Now()-o.metaStart)
+	if a.Write {
+		// Write allocate: new data lands in NM, victim goes to FM.
+		done := o.done
+		nmSlot, evictLoc := o.nmSlot, o.evictLoc
+		o.release()
+		c.sys.Write(nmSlot, memunits.SubblockSize, stats.Demand, nil)
+		c.sys.Write(evictLoc, memunits.SubblockSize, stats.Migration, nil)
+		if done != nil {
+			done()
+		}
+		return
+	}
+	c.sys.ReadDemand(a, o.fmLoc, memunits.SubblockSize, stats.Demand, o.demandFn)
+}
+
+func (o *swapOp) demandDone() {
+	// Demand data returned; install + evict in the background.
+	c := o.c
+	done := o.done
+	nmSlot, evictLoc := o.nmSlot, o.evictLoc
+	o.release()
+	if done != nil {
+		done()
+	}
+	c.sys.Write(nmSlot, memunits.SubblockSize, stats.Migration, nil)
+	c.sys.Write(evictLoc, memunits.SubblockSize, stats.Migration, nil)
 }
 
 // New builds a CAMEO controller. cfg.PrefetchLines = 0 gives original
@@ -173,29 +238,21 @@ func (c *Controller) Handle(a *mem.Access) {
 		c.sys.NoteDeliver(fmLoc, nmSlot)
 	}
 	c.sys.NoteDeliver(nmSlot, evictLoc)
-	c.sys.ReadMeta(nmSlot, memunits.SubblockSize, remapEntrySize, stats.Migration, func() {
-		// Everything up to here was the serialized remap-entry check in NM
-		// (queue + extended-burst service of the victim line): charge it as
-		// metadata-fetch time on the demand path.
-		a.AddSpan(stats.SpanMetaFetch, c.sys.Eng.Now()-metaStart)
-		if a.Write {
-			// Write allocate: new data lands in NM, victim goes to FM.
-			c.sys.Write(nmSlot, memunits.SubblockSize, stats.Demand, nil)
-			c.sys.Write(evictLoc, memunits.SubblockSize, stats.Migration, nil)
-			if done != nil {
-				done()
-			}
-			return
-		}
-		c.sys.ReadDemand(a, fmLoc, memunits.SubblockSize, stats.Demand, func() {
-			// Demand data returned; install + evict in the background.
-			if done != nil {
-				done()
-			}
-			c.sys.Write(nmSlot, memunits.SubblockSize, stats.Migration, nil)
-			c.sys.Write(evictLoc, memunits.SubblockSize, stats.Migration, nil)
-		})
-	})
+	op := c.freeSwap
+	if op == nil {
+		op = &swapOp{c: c}
+		op.metaFn = op.metaDone
+		op.demandFn = op.demandDone
+	} else {
+		c.freeSwap = op.next
+	}
+	op.a = a
+	op.done = done
+	op.metaStart = metaStart
+	op.fmLoc = fmLoc
+	op.nmSlot = nmSlot
+	op.evictLoc = evictLoc
+	c.sys.ReadMeta(nmSlot, memunits.SubblockSize, remapEntrySize, stats.Migration, op.metaFn)
 	c.maybePrefetch(sb)
 }
 

@@ -503,3 +503,15 @@ func F(x float64) string { return fmt.Sprintf("%.3f", x) }
 
 // F2 formats a float to 2 decimal places for table cells.
 func F2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// Ratio returns num/den, or 0 when the quotient is undefined: zero or
+// non-finite denominator, or non-finite numerator. Every rate, fraction and
+// ETA the drivers report funnels through this, so an idle epoch or a
+// zero-length run yields 0 instead of poisoning JSONL/CSV/manifest output
+// with NaN or Inf.
+func Ratio(num, den float64) float64 {
+	if den == 0 || math.IsInf(den, 0) || math.IsNaN(den) || math.IsInf(num, 0) || math.IsNaN(num) {
+		return 0
+	}
+	return num / den
+}

@@ -241,3 +241,30 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("CSV:\n%q\nwant\n%q", csv, want)
 	}
 }
+
+func TestRatio(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	cases := []struct {
+		num, den, want float64
+	}{
+		{6, 3, 2},
+		{0, 5, 0},
+		{5, 0, 0},  // zero denominator: the idle-epoch / empty-trace case
+		{0, 0, 0},  // 0/0 would be NaN
+		{-3, 0, 0}, // -3/0 would be -Inf
+		{nan, 2, 0},
+		{2, nan, 0},
+		{inf, 2, 0},
+		{2, inf, 0},
+		{-8, 4, -2},
+	}
+	for _, c := range cases {
+		if got := Ratio(c.num, c.den); got != c.want {
+			t.Errorf("Ratio(%v, %v) = %v, want %v", c.num, c.den, got, c.want)
+		}
+	}
+	if v := Ratio(1, 3); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("finite inputs produced non-finite %v", v)
+	}
+}

@@ -121,9 +121,10 @@ func (s *sampler) sample() (*Sample, error) {
 		PeakQueueNM: s.sys.NM.TakePeakQueueDepth(),
 		PeakQueueFM: s.sys.FM.TakePeakQueueDepth(),
 	}
-	if sm.LLCMisses > 0 {
-		sm.AccessRate = float64(sm.ServicedNM) / float64(sm.LLCMisses)
-	}
+	// Ratio guards the idle epoch: zero LLC misses must sample a 0 access
+	// rate, not NaN (which would poison the JSONL/CSV streams and break
+	// manifest byte-determinism).
+	sm.AccessRate = stats.Ratio(float64(sm.ServicedNM), float64(sm.LLCMisses))
 	if s.gp != nil {
 		sm.Gauges = s.gp.Gauges()
 	}

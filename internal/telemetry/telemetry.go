@@ -208,9 +208,11 @@ func (t *T) wallNote(cycle, done, total uint64) string {
 	if elapsed <= 0 {
 		return ""
 	}
-	note := fmt.Sprintf(" %.1f Mcyc/s", float64(cycle)/elapsed/1e6)
+	// stats.Ratio guards the sub-millisecond-run and zero-done edges: a
+	// zero or non-finite quotient renders as 0 instead of NaN/Inf.
+	note := fmt.Sprintf(" %.1f Mcyc/s", stats.Ratio(float64(cycle), elapsed)/1e6)
 	if done > 0 && total > done {
-		eta := time.Duration(elapsed * float64(total-done) / float64(done) * float64(time.Second))
+		eta := time.Duration(elapsed * stats.Ratio(float64(total-done), float64(done)) * float64(time.Second))
 		note += " eta " + eta.Round(time.Second).String()
 	}
 	return note
