@@ -7,6 +7,7 @@
 #   ./ci.sh bench    # only the bench-smoke + manifest-diff stage
 #   ./ci.sh perf     # only the perf-regression stage (speed/alloc bands)
 #   ./ci.sh live     # only the live-server endpoint + inertness stage
+#   ./ci.sh history  # only the cross-PR trajectory-report stage
 set -eu
 
 # Bench-smoke stage: rerun the short manifest suite and diff its
@@ -36,10 +37,13 @@ perf_gate() {
 }
 
 # Live-observability stage: run a short simulation with the embedded HTTP
-# server, validate /metrics, /healthz and /progress while it lingers, then
-# rerun the identical simulation with no server and assert every
-# deterministic counter (incidents included) is byte-identical — the
-# observability layer must be provably inert.
+# server, validate the dashboard, /api/runs, /events, /metrics, /healthz
+# and /progress while it lingers, then rerun the identical simulation (a)
+# with no server and (b) with the server plus three concurrent SSE
+# subscribers draining /events throughout the run, and assert every
+# deterministic counter (incidents included) is byte-identical across all
+# three legs — the observability layer, streaming included, must be
+# provably inert.
 live_smoke() {
 	go build -o /tmp/silcfm-bench ./cmd/silcfm-bench
 	go build -o /tmp/silcfm-sim ./cmd/silcfm-sim
@@ -74,6 +78,31 @@ live_smoke() {
 		-nm 8 -fm 32 -footscale 16 \
 		-manifest-out /tmp/live_off.json >/dev/null
 	/tmp/silcfm-bench -diff -noise 0 /tmp/live_off.json /tmp/live_on.json
+	# Subscriber leg: same run with three /events streams attached before
+	# the first instruction dispatches.
+	/tmp/silcfm-sim -workload milc -instr 100000 -scale-instr=false \
+		-nm 8 -fm 32 -footscale 16 \
+		-listen 127.0.0.1:0 -sse-subs 3 \
+		-manifest-out /tmp/live_subs.json >/dev/null 2>&1
+	/tmp/silcfm-bench -diff -noise 0 /tmp/live_off.json /tmp/live_subs.json
+}
+
+# Trajectory stage: regenerate the cross-PR trajectory report from the
+# committed BENCH_PR*.json baselines and require it to match the committed
+# TRAJECTORY.md byte-for-byte. The report is a pure function of the input
+# manifests, so any drift means either the baselines changed without the
+# report (regenerate it) or the report generator changed behavior.
+history_smoke() {
+	go build -o /tmp/silcfm-bench ./cmd/silcfm-bench
+	/tmp/silcfm-bench -history -history-md /tmp/trajectory.md 'BENCH_PR*.json' >/dev/null
+	if ! diff -u TRAJECTORY.md /tmp/trajectory.md; then
+		echo "history_smoke: TRAJECTORY.md is stale; regenerate with:" >&2
+		echo "  go run ./cmd/silcfm-bench -history -history-md TRAJECTORY.md 'BENCH_PR*.json'" >&2
+		exit 1
+	fi
+	# Explicit ordered paths must agree with the glob expansion.
+	/tmp/silcfm-bench -history BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json >/tmp/trajectory_explicit.md
+	diff -u TRAJECTORY.md /tmp/trajectory_explicit.md
 }
 
 if [ "${1:-}" = "bench" ]; then
@@ -86,6 +115,10 @@ if [ "${1:-}" = "perf" ]; then
 fi
 if [ "${1:-}" = "live" ]; then
 	live_smoke
+	exit 0
+fi
+if [ "${1:-}" = "history" ]; then
+	history_smoke
 	exit 0
 fi
 
@@ -111,4 +144,5 @@ go build ./...
 bench_smoke
 perf_gate
 live_smoke
+history_smoke
 go test -race ./...

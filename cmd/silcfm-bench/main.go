@@ -8,6 +8,8 @@
 //	silcfm-bench -short -out /tmp/bench.json        # CI smoke subset
 //	silcfm-bench -diff BENCH_PR5.json BENCH_PR6.json
 //	silcfm-bench -diff -subset -noise 0 BENCH_PR4.json /tmp/bench.json
+//	silcfm-bench -history 'BENCH_PR*.json'            # cross-PR trajectory
+//	silcfm-bench -history -history-md TRAJECTORY.md BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json
 //
 // (Flags precede the positional manifest paths, per Go flag convention.)
 //
@@ -16,13 +18,22 @@
 // non-zero as a correctness/behavior regression — while host-timing
 // metrics (wall time, throughput, allocations) are compared within the
 // -noise band (default ±10%; 0 skips them, for cross-machine diffs).
+//
+// In -history mode the positional arguments are an ordered list of
+// manifest paths (globs expand in sorted order), oldest first, and the
+// output is a cross-PR trajectory report: per-cell metric curves aligned
+// by config fingerprint, plus fleet-level geomean summaries. The report is
+// a pure function of the input manifests, so a committed TRAJECTORY.md can
+// be regenerated and diffed by CI.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 
 	"silcfm/internal/config"
 	"silcfm/internal/harness"
@@ -62,16 +73,23 @@ func main() {
 		seed  = flag.Int64("seed", 0, "random seed (0 = default)")
 		quiet = flag.Bool("quiet", false, "suppress the per-cell progress and summary table")
 
-		listen = flag.String("listen", "", "serve live observability HTTP on this address (/metrics, /healthz, /progress, /debug/pprof)")
+		listen = flag.String("listen", "", "serve live observability HTTP on this address (dashboard, /api/runs, /events, /metrics, /healthz, /progress, /debug/pprof)")
 
 		diff       = flag.Bool("diff", false, "diff mode: compare two manifests (old.json new.json)")
 		noise      = flag.Float64("noise", 0.10, "relative noise band for host-timing metrics (0 skips them)")
 		speedNoise = flag.Float64("speed-noise", 0, "diff mode: band for host.sim_cycles_per_sec, breaching only when slower (0 falls back to -noise)")
 		allocNoise = flag.Float64("alloc-noise", 0, "diff mode: band for host.alloc_objects/bytes, breaching only when higher (0 falls back to -noise)")
 		subset     = flag.Bool("subset", false, "diff mode: allow baseline entries the new manifest did not rerun")
+
+		history   = flag.Bool("history", false, "history mode: build a cross-PR trajectory report from ordered manifest paths/globs")
+		historyMD = flag.String("history-md", "", "history mode: write the markdown report here instead of stdout")
+		historyJS = flag.String("history-out", "", "history mode: also write the trajectory as canonical JSON here")
 	)
 	flag.Parse()
 
+	if *history {
+		os.Exit(runHistory(flag.Args(), *historyMD, *historyJS))
+	}
 	if *diff {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "silcfm-bench: -diff needs exactly two manifest paths (old new)")
@@ -209,6 +227,57 @@ func runCell(id string, spec harness.Spec, reps int, srv *live.Server) (*manifes
 		}
 	}
 	return best, bestRes, nil
+}
+
+// runHistory expands the ordered path/glob arguments and renders the
+// trajectory report. Globs expand in sorted order; explicit paths keep
+// their command-line order, so mixed usage stays predictable.
+func runHistory(patterns []string, outMD, outJSON string) int {
+	var paths []string
+	for _, p := range patterns {
+		matches, err := filepath.Glob(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "silcfm-bench: bad -history pattern %q: %v\n", p, err)
+			return 2
+		}
+		if len(matches) == 0 {
+			// Not a glob (or nothing matched): keep the literal path and let
+			// LoadHistory report the missing file with its name.
+			paths = append(paths, p)
+			continue
+		}
+		sort.Strings(matches)
+		paths = append(paths, matches...)
+	}
+	steps, err := manifest.LoadHistory(paths)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silcfm-bench:", err)
+		return 2
+	}
+	t := manifest.BuildTrajectory(steps)
+	md := t.Markdown()
+	if outMD != "" {
+		if err := os.WriteFile(outMD, []byte(md), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "silcfm-bench:", err)
+			return 2
+		}
+		fmt.Printf("wrote %s (%d steps, %d cells)\n", outMD, len(t.Steps), len(t.Cells))
+	} else {
+		fmt.Print(md)
+	}
+	if outJSON != "" {
+		b, err := manifest.Canonical(t)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "silcfm-bench:", err)
+			return 2
+		}
+		if err := os.WriteFile(outJSON, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "silcfm-bench:", err)
+			return 2
+		}
+		fmt.Printf("wrote %s\n", outJSON)
+	}
+	return 0
 }
 
 func runDiff(oldPath, newPath string, opt manifest.DiffOptions) int {

@@ -10,6 +10,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -48,8 +50,9 @@ func main() {
 		profileOut   = flag.String("profile-out", "", "write the per-block/per-PC hotness profile to this file (JSONL)")
 		profileTopK  = flag.Int("profile-topk", 0, "print the K hottest blocks and PCs after the run (0 = off)")
 		healthOut    = flag.String("health-out", "", "write the run's health incidents to this file (JSONL)")
-		listen       = flag.String("listen", "", "serve live observability HTTP on this address (/metrics, /healthz, /progress, /debug/pprof)")
+		listen       = flag.String("listen", "", "serve live observability HTTP on this address (dashboard, /api/runs, /events, /metrics, /healthz, /progress, /debug/pprof)")
 		linger       = flag.Duration("listen-linger", 0, "keep the -listen server up this long after the run completes")
+		sseSubs      = flag.Int("sse-subs", 0, "attach this many draining /events SSE subscribers before the run starts (inertness testing)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulator process to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile of the simulator process to this file")
@@ -139,6 +142,24 @@ func main() {
 			}
 			srv.Close()
 		}()
+		// Attach the subscribers synchronously (http.Get returns once the
+		// handler has subscribed and sent headers) so every epoch frame of
+		// the run flows through their bounded queues; the drain goroutines
+		// end when Close drops the streams.
+		for i := 0; i < *sseSubs; i++ {
+			resp, err := http.Get(srv.URL() + "/events")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "silcfm-sim: sse subscriber:", err)
+				os.Exit(1)
+			}
+			go func() {
+				defer resp.Body.Close()
+				io.Copy(io.Discard, resp.Body)
+			}()
+		}
+		if *sseSubs > 0 {
+			fmt.Fprintf(os.Stderr, "live: %d SSE subscribers attached\n", *sseSubs)
+		}
 	}
 	if *noLock || *noBypass || *ways != 4 {
 		f := silcfm.FullFeatures()

@@ -65,11 +65,12 @@ type Spec struct {
 	// queue length). Like telemetry, the detector is read-only.
 	Health *health.Config
 	// Publish, when set, is called once per telemetry epoch on the
-	// simulation goroutine with that epoch's state and the incidents
-	// currently open. It is the hook the live observability server
-	// (internal/telemetry/live) attaches through; the referenced state is
-	// only valid during the call.
-	Publish func(telemetry.EpochState, []health.Incident)
+	// simulation goroutine with that epoch's state and the health status:
+	// the incidents currently open plus the open/close transitions since
+	// the previous epoch. It is the hook the live observability hub
+	// (internal/telemetry/live.Registry) attaches through; the referenced
+	// state is only valid during the call.
+	Publish func(telemetry.EpochState, health.Status)
 }
 
 // Result is one completed simulation.
@@ -277,10 +278,18 @@ func Run(spec Spec) (*Result, error) {
 	if det != nil || spec.Publish != nil {
 		userEpoch := tcfg.OnEpoch
 		publish := spec.Publish
+		// prevOpen carries the previous epoch's open set so every publish
+		// reports the incident transitions that happened at its boundary.
+		// OnEpoch runs only on the simulation goroutine, so the closure
+		// state needs no lock.
+		var prevOpen []health.Incident
 		tcfg.OnEpoch = func(st telemetry.EpochState) {
 			det.Observe(st.Sample)
 			if publish != nil {
-				publish(st, det.Open())
+				open := det.Open()
+				opened, closed := health.DiffOpen(prevOpen, open)
+				prevOpen = open
+				publish(st, health.Status{Open: open, Opened: opened, Closed: closed})
 			}
 			if userEpoch != nil {
 				userEpoch(st)

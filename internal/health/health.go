@@ -472,6 +472,46 @@ func (d *Detector) Open() []Incident {
 	return out
 }
 
+// Status is the per-epoch health view handed to publish hooks
+// (harness.Spec.Publish): the incidents currently open plus the open/close
+// transitions that happened at this epoch boundary. Opened incidents carry
+// their initial snapshot; Closed incidents carry the last open snapshot
+// observed before the tracker released them (the definitive final record
+// still lands in Detector.Finish's list).
+type Status struct {
+	Open   []Incident
+	Opened []Incident
+	Closed []Incident
+}
+
+// DiffOpen computes the open/close transitions between two consecutive
+// epochs' Open() snapshots. The detector keeps at most one open incident
+// per kind (one tracker each), so kinds key the diff; a kind reopening in
+// the same epoch its predecessor closed reports as one close plus one open
+// when the first epochs differ.
+func DiffOpen(prev, cur []Incident) (opened, closed []Incident) {
+	prevByKind := make(map[string]Incident, len(prev))
+	for _, in := range prev {
+		prevByKind[in.Kind] = in
+	}
+	curByKind := make(map[string]Incident, len(cur))
+	for _, in := range cur {
+		curByKind[in.Kind] = in
+		if p, ok := prevByKind[in.Kind]; !ok {
+			opened = append(opened, in)
+		} else if p.FirstEpoch != in.FirstEpoch {
+			closed = append(closed, p)
+			opened = append(opened, in)
+		}
+	}
+	for _, in := range prev {
+		if _, ok := curByKind[in.Kind]; !ok {
+			closed = append(closed, in)
+		}
+	}
+	return opened, closed
+}
+
 // Finish closes any still-open incidents and returns the run's complete
 // incident list, sorted by first epoch then kind. Call once, after the
 // final telemetry epoch (including the partial one Finish flushes).

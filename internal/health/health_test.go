@@ -3,6 +3,7 @@ package health_test
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"testing"
 
 	"silcfm/internal/config"
@@ -372,5 +373,53 @@ func TestConflictThrashDetectedOnDirectMappedOnly(t *testing.T) {
 	b2, _ := json.Marshal(again)
 	if !bytes.Equal(b1, b2) {
 		t.Errorf("incidents differ between identical runs:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+func TestDiffOpen(t *testing.T) {
+	inc := func(kind string, firstEpoch uint64) health.Incident {
+		return health.Incident{Kind: kind, FirstEpoch: firstEpoch}
+	}
+	kinds := func(ins []health.Incident) []string {
+		var out []string
+		for _, in := range ins {
+			out = append(out, in.Kind)
+		}
+		return out
+	}
+	cases := []struct {
+		name                string
+		prev, cur           []health.Incident
+		wantOpen, wantClose []string
+	}{
+		{"both empty", nil, nil, nil, nil},
+		{"opens", nil, []health.Incident{inc(health.KindSwapThrash, 3)}, []string{health.KindSwapThrash}, nil},
+		{"closes", []health.Incident{inc(health.KindSwapThrash, 3)}, nil, nil, []string{health.KindSwapThrash}},
+		{"steady", []health.Incident{inc(health.KindSwapThrash, 3)}, []health.Incident{inc(health.KindSwapThrash, 3)}, nil, nil},
+		{
+			// Same kind, new FirstEpoch: the old incident closed and a new
+			// one opened between the two observations.
+			"reopen",
+			[]health.Incident{inc(health.KindLockChurn, 2)},
+			[]health.Incident{inc(health.KindLockChurn, 9)},
+			[]string{health.KindLockChurn}, []string{health.KindLockChurn},
+		},
+		{
+			"mixed",
+			[]health.Incident{inc(health.KindSwapThrash, 1), inc(health.KindLockChurn, 2)},
+			[]health.Incident{inc(health.KindLockChurn, 2), inc(health.KindQueueSaturation, 5)},
+			[]string{health.KindQueueSaturation}, []string{health.KindSwapThrash},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opened, closed := health.DiffOpen(tc.prev, tc.cur)
+			if got := kinds(opened); !reflect.DeepEqual(got, tc.wantOpen) {
+				t.Errorf("opened = %v, want %v", got, tc.wantOpen)
+			}
+			if got := kinds(closed); !reflect.DeepEqual(got, tc.wantClose) {
+				t.Errorf("closed = %v, want %v", got, tc.wantClose)
+			}
+		})
 	}
 }

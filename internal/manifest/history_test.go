@@ -1,0 +1,180 @@
+package manifest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"silcfm/internal/health"
+)
+
+// histEntry builds one entry with just the fields the trajectory reads.
+func histEntry(id, fp string, cycles uint64, mcyc float64, allocs uint64, incidents int) Entry {
+	e := Entry{
+		ID:     id,
+		Config: Config{Fingerprint: fp},
+		Sim:    Sim{Cycles: cycles},
+		Host:   Host{SimCyclesPerSec: mcyc * 1e6, AllocObjects: allocs, WallSeconds: 0.1},
+	}
+	for i := 0; i < incidents; i++ {
+		e.Sim.Incidents = append(e.Sim.Incidents, health.Incident{Kind: health.KindSwapThrash})
+	}
+	return e
+}
+
+func histStep(label string, entries ...Entry) HistoryStep {
+	m := New("test", label)
+	for _, e := range entries {
+		m.Add(e)
+	}
+	return HistoryStep{Label: label, M: m}
+}
+
+func metricByName(t *testing.T, cell CellTrajectory, name string) MetricTrajectory {
+	t.Helper()
+	for _, mt := range cell.Metrics {
+		if mt.Metric == name {
+			return mt
+		}
+	}
+	t.Fatalf("cell %s has no metric %q", cell.ID, name)
+	return MetricTrajectory{}
+}
+
+func TestBuildTrajectoryAlignmentAndDirections(t *testing.T) {
+	steps := []HistoryStep{
+		histStep("PR1",
+			histEntry("a", "fp-a", 500, 2.0, 1000, 0),
+			histEntry("b", "fp-b-old", 900, 4.0, 2000, 1), // reconfigured later
+		),
+		histStep("PR2",
+			histEntry("a", "fp-a", 500, 2.1, 1000, 0),
+			histEntry("b", "fp-b", 800, 4.0, 2000, 1),
+		),
+		histStep("PR3",
+			histEntry("a", "fp-a", 500, 6.0, 100, 0), // the 3x step
+			histEntry("b", "fp-b", 777, 4.0, 2000, 0),
+			histEntry("c", "fp-c", 50, 1.0, 10, 0), // new cell
+		),
+	}
+	tr := BuildTrajectory(steps)
+
+	if got := strings.Join(tr.Steps, ","); got != "PR1,PR2,PR3" {
+		t.Fatalf("steps = %s", got)
+	}
+	if len(tr.Cells) != 3 {
+		t.Fatalf("cells = %d, want 3 (newest manifest's entries)", len(tr.Cells))
+	}
+
+	a, b, c := tr.Cells[0], tr.Cells[1], tr.Cells[2]
+	if a.ID != "a" || b.ID != "b" || c.ID != "c" {
+		t.Fatalf("cell order = %s,%s,%s, want a,b,c", a.ID, b.ID, c.ID)
+	}
+
+	// Cell a: fully aligned, throughput improved 3x, allocs improved,
+	// cycles exactly flat.
+	if a.AlignedSteps != 3 {
+		t.Errorf("a aligned steps = %d, want 3", a.AlignedSteps)
+	}
+	mc := metricByName(t, a, "mcyc_per_sec")
+	if mc.Direction != DirImproved || mc.LastOverFirst != 3.0 || mc.Best != 6.0 || mc.BestStep != "PR3" {
+		t.Errorf("a mcyc trajectory = %+v, want improved 3.00x best 6.0@PR3", mc)
+	}
+	if al := metricByName(t, a, "alloc_objects"); al.Direction != DirImproved || al.Best != 100 {
+		t.Errorf("a allocs trajectory = %+v, want improved best 100", al)
+	}
+	if cy := metricByName(t, a, "cycles"); cy.Direction != DirFlat {
+		t.Errorf("a cycles direction = %s, want flat", cy.Direction)
+	}
+
+	// Cell b: PR1 ran a different fingerprint, so only PR2/PR3 align;
+	// cycles changed between them, and the incident went away.
+	if b.AlignedSteps != 2 {
+		t.Errorf("b aligned steps = %d, want 2", b.AlignedSteps)
+	}
+	cy := metricByName(t, b, "cycles")
+	if cy.Points[0].Aligned || !cy.Points[0].Present {
+		t.Errorf("b PR1 point = %+v, want present but unaligned", cy.Points[0])
+	}
+	if cy.Direction != DirChanged || cy.First != 800 || cy.Last != 777 {
+		t.Errorf("b cycles trajectory = %+v, want changed 800->777", cy)
+	}
+	if in := metricByName(t, b, "incidents"); in.Direction != DirChanged || in.First != 1 || in.Last != 0 {
+		t.Errorf("b incidents trajectory = %+v, want changed 1->0", in)
+	}
+
+	// Cell c: exists only at PR3 — no trajectory.
+	if c.AlignedSteps != 1 {
+		t.Errorf("c aligned steps = %d, want 1", c.AlignedSteps)
+	}
+	if mt := metricByName(t, c, "mcyc_per_sec"); mt.Direction != DirNone {
+		t.Errorf("c direction = %s, want %s", mt.Direction, DirNone)
+	}
+
+	// Fleet mcyc geomean: cell a contributes 3.0 at PR3, cell b 1.0 over
+	// PR2..PR3 (normalized to its own first aligned step); c has first==last.
+	var fleetMc *FleetTrajectory
+	for i := range tr.Fleet {
+		if tr.Fleet[i].Metric == "mcyc_per_sec" {
+			fleetMc = &tr.Fleet[i]
+		}
+	}
+	if fleetMc == nil || fleetMc.Direction != DirImproved {
+		t.Fatalf("fleet mcyc = %+v, want improved", fleetMc)
+	}
+	if p := fleetMc.Points[0]; p.Cells != 1 || p.Ratio != 1.0 {
+		t.Errorf("fleet PR1 point = %+v, want 1 cell at 1.00x", p)
+	}
+	if p := fleetMc.Points[2]; p.Cells != 3 {
+		t.Errorf("fleet PR3 point = %+v, want 3 cells", p)
+	}
+}
+
+func TestTrajectoryMarkdownDeterministic(t *testing.T) {
+	steps := []HistoryStep{
+		histStep("PR1", histEntry("a", "fp", 500, 2.0, 1000, 0)),
+		histStep("PR2", histEntry("a", "fp", 500, 6.0, 100, 0)),
+	}
+	md1 := BuildTrajectory(steps).Markdown()
+	md2 := BuildTrajectory(steps).Markdown()
+	if md1 != md2 {
+		t.Fatal("Markdown output differs between identical builds")
+	}
+	for _, want := range []string{"PR1 → PR2", "| mcyc_per_sec |", "3.00x", "improved"} {
+		if !strings.Contains(md1, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md1)
+		}
+	}
+}
+
+func TestLoadHistory(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, label string) string {
+		m := New("test", label)
+		e := histEntry("a", "fp", 500, 2.0, 1000, 0)
+		m.Add(e)
+		p := filepath.Join(dir, name)
+		if err := m.WriteFile(p); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1 := write("one.json", "PR1")
+	p2 := write("two.json", "") // label falls back to the file name
+
+	if _, err := LoadHistory([]string{p1}); err == nil {
+		t.Error("LoadHistory with one path: want error")
+	}
+	steps, err := LoadHistory([]string{p1, p2})
+	if err != nil {
+		t.Fatalf("LoadHistory: %v", err)
+	}
+	if steps[0].Label != "PR1" || steps[1].Label != "two" {
+		t.Errorf("labels = %q,%q, want PR1,two", steps[0].Label, steps[1].Label)
+	}
+	if _, err := LoadHistory([]string{p1, filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("LoadHistory with missing file: want error")
+	}
+	_ = os.Remove(p2)
+}

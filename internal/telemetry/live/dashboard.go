@@ -1,0 +1,289 @@
+package live
+
+import "net/http"
+
+// handleDashboard serves the embedded zero-dependency HTML dashboard at /.
+// Everything it shows is derived from /events (with an /api/runs polling
+// fallback), so the page carries no server-rendered state and is safe to
+// cache-bust by reload.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(dashboardHTML))
+}
+
+// dashboardHTML is the whole dashboard: inline CSS (light/dark from one
+// set of role variables), inline JS, no external assets. Sparkline series
+// hues and status colors follow the repo's validated palette; single-series
+// sparklines are named by their column header, values are direct-labeled in
+// text ink, and incidents always pair an icon with a label.
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>silcfm fleet</title>
+<style>
+:root {
+  color-scheme: light dark;
+  --surface: #fcfcfb; --surface-2: #f0efec; --border: #dddcd7;
+  --text: #0b0b0b; --text-2: #52514e;
+  --s-rate: #2a78d6; --s-queue: #eb6834;
+  --ok: #0ca30c; --crit: #d03b3b; --track: #e7e6e2;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --surface-2: #242422; --border: #383835;
+    --text: #ffffff; --text-2: #c3c2b7;
+    --s-rate: #3987e5; --s-queue: #d95926;
+    --ok: #0ca30c; --crit: #d03b3b; --track: #333331;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 16px 20px; background: var(--surface); color: var(--text);
+  font: 13px/1.45 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace;
+}
+h1 { font-size: 15px; margin: 0 0 2px; font-weight: 600; }
+.sub { color: var(--text-2); margin-bottom: 14px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; margin-bottom: 16px; }
+.tile {
+  background: var(--surface-2); border: 1px solid var(--border); border-radius: 6px;
+  padding: 8px 14px; min-width: 118px;
+}
+.tile .v { font-size: 20px; font-weight: 600; }
+.tile .k { color: var(--text-2); font-size: 11px; }
+.tile.alert .v { color: var(--crit); }
+.tile.calm .v { color: var(--ok); }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 3px 10px 3px 0; white-space: nowrap; }
+th { color: var(--text-2); font-weight: 500; font-size: 11px; border-bottom: 1px solid var(--border); }
+tr.group td {
+  padding-top: 10px; font-weight: 600; border-bottom: 1px solid var(--border);
+}
+tr.group .agg { color: var(--text-2); font-weight: 400; }
+td.run { color: var(--text-2); padding-left: 14px; }
+.bar { width: 140px; height: 8px; background: var(--track); border-radius: 4px; overflow: hidden; display: inline-block; vertical-align: middle; }
+.bar i { display: block; height: 100%; background: var(--s-rate); border-radius: 4px; }
+tr.done .bar i { background: var(--ok); }
+canvas.spark { vertical-align: middle; }
+.sv { display: inline-block; min-width: 44px; text-align: right; color: var(--text); }
+.inc { color: var(--crit); font-weight: 600; }
+.okc { color: var(--ok); }
+.footer { margin-top: 14px; color: var(--text-2); font-size: 11px; }
+a { color: var(--s-rate); }
+</style>
+</head>
+<body>
+<h1>silcfm fleet</h1>
+<div class="sub" id="conn">connecting&hellip;</div>
+<div class="tiles">
+  <div class="tile"><div class="v" id="t-cells">&ndash;</div><div class="k">cells done / total</div></div>
+  <div class="tile"><div class="v" id="t-mcyc">&ndash;</div><div class="k">fleet Mcyc/s (running)</div></div>
+  <div class="tile"><div class="v" id="t-eta">&ndash;</div><div class="k">fleet ETA</div></div>
+  <div class="tile" id="t-inc-tile"><div class="v" id="t-inc">&ndash;</div><div class="k">open incidents</div></div>
+</div>
+<table>
+  <thead><tr>
+    <th>run</th><th>progress</th><th>%</th><th>Mcyc/s</th>
+    <th>access rate</th><th>queue depth</th><th>health</th>
+  </tr></thead>
+  <tbody id="tree"></tbody>
+</table>
+<div class="footer">
+  endpoints: <a href="/api/runs">/api/runs</a> &middot; <a href="/events">/events</a> &middot;
+  <a href="/metrics">/metrics</a> &middot; <a href="/healthz">/healthz</a> &middot;
+  <a href="/progress">/progress</a> &middot; <a href="/debug/pprof/">/debug/pprof</a>
+</div>
+<script>
+"use strict";
+var runs = new Map();   // id -> {st: RunStatus-ish, ar: [], qd: [], inc: Map(kind->true)}
+var MAXPTS = 150;
+var dirty = false, topoDirty = true;
+
+function ent(id) {
+  var e = runs.get(id);
+  if (!e) { e = { st: { run: id, state: "running", pct: 0 }, ar: [], qd: [], inc: new Map() }; runs.set(id, e); topoDirty = true; }
+  return e;
+}
+function seed(list) {
+  (list || []).forEach(function (st) {
+    var e = ent(st.run);
+    e.st = st;
+    if (st.open_incidents === 0) e.inc.clear();
+  });
+  topoDirty = true; dirty = true;
+}
+function fmt(x, d) { return (x == null || !isFinite(x)) ? "–" : x.toFixed(d == null ? 1 : d); }
+function fmtEta(s) {
+  if (!isFinite(s) || s <= 0) return "–";
+  if (s < 90) return s.toFixed(0) + "s";
+  if (s < 5400) return (s / 60).toFixed(1) + "m";
+  return (s / 3600).toFixed(1) + "h";
+}
+function groupOf(id) { var i = id.indexOf("/"); return i < 0 ? id : id.slice(0, i); }
+
+function render() {
+  dirty = false;
+  var ids = Array.from(runs.keys()).sort();
+  var nDone = 0, mcyc = 0, eta = 0, open = 0;
+  ids.forEach(function (id) {
+    var st = runs.get(id).st;
+    if (st.state === "done") { nDone++; }
+    else {
+      mcyc += st.mcyc_per_sec || 0;
+      if ((st.eta_seconds || 0) > eta) eta = st.eta_seconds;
+      open += st.open_incidents || 0;
+    }
+  });
+  document.getElementById("t-cells").textContent = nDone + " / " + ids.length;
+  document.getElementById("t-mcyc").textContent = fmt(mcyc, 1);
+  document.getElementById("t-eta").textContent = nDone === ids.length && ids.length ? "done" : fmtEta(eta);
+  document.getElementById("t-inc").textContent = open;
+  document.getElementById("t-inc-tile").className = "tile " + (open ? "alert" : "calm");
+
+  if (topoDirty) buildTree(ids);
+  ids.forEach(updateRow);
+}
+
+function buildTree(ids) {
+  topoDirty = false;
+  var tb = document.getElementById("tree");
+  tb.textContent = "";
+  var last = null;
+  ids.forEach(function (id) {
+    var grp = groupOf(id);
+    if (grp !== last) {
+      last = grp;
+      var tr = document.createElement("tr");
+      tr.className = "group";
+      tr.innerHTML = '<td>' + esc(grp) + '</td><td colspan="6" class="agg" id="g-' + cssId(grp) + '"></td>';
+      tb.appendChild(tr);
+    }
+    var row = document.createElement("tr");
+    row.id = "r-" + cssId(id);
+    row.innerHTML =
+      '<td class="run">' + esc(id) + '</td>' +
+      '<td><span class="bar"><i style="width:0%"></i></span></td>' +
+      '<td class="pct">&ndash;</td><td class="mc">&ndash;</td>' +
+      '<td><canvas class="spark" data-k="ar" width="120" height="26"></canvas> <span class="sv ar">&ndash;</span></td>' +
+      '<td><canvas class="spark" data-k="qd" width="120" height="26"></canvas> <span class="sv qd">&ndash;</span></td>' +
+      '<td class="hl">&ndash;</td>';
+    tb.appendChild(row);
+  });
+}
+
+function updateRow(id) {
+  var row = document.getElementById("r-" + cssId(id));
+  var e = runs.get(id);
+  if (!row || !e) return;
+  var st = e.st;
+  row.className = st.state === "done" ? "done" : "";
+  row.querySelector(".bar i").style.width = Math.min(100, st.pct || 0) + "%";
+  row.querySelector(".pct").textContent = fmt(st.pct, 1);
+  row.querySelector(".mc").textContent = fmt(st.mcyc_per_sec, 1);
+  row.querySelector(".sv.ar").textContent = fmt(lastOf(e.ar), 3);
+  row.querySelector(".sv.qd").textContent = fmt(lastOf(e.qd), 0);
+  spark(row.querySelector('canvas[data-k="ar"]'), e.ar, cssVar("--s-rate"), "access rate");
+  spark(row.querySelector('canvas[data-k="qd"]'), e.qd, cssVar("--s-queue"), "queue depth");
+  var hl = row.querySelector(".hl");
+  if (e.inc.size > 0) {
+    hl.innerHTML = '<span class="inc">&#9888; ' + esc(Array.from(e.inc.keys()).join(", ")) + "</span>";
+  } else if (st.state === "done") {
+    hl.innerHTML = '<span class="okc">&#10003; done' +
+      (st.total_incidents ? " (" + st.total_incidents + " incident" + (st.total_incidents > 1 ? "s" : "") + ")" : "") + "</span>";
+  } else {
+    hl.innerHTML = '<span class="okc">&#10003; ok</span>';
+  }
+  var g = document.getElementById("g-" + cssId(groupOf(id)));
+  if (g) {
+    var ids = Array.from(runs.keys()).filter(function (x) { return groupOf(x) === groupOf(id); });
+    var done = ids.filter(function (x) { return runs.get(x).st.state === "done"; }).length;
+    g.textContent = done + "/" + ids.length + " cells done";
+  }
+}
+
+function lastOf(a) { return a.length ? a[a.length - 1] : null; }
+function cssVar(n) { return getComputedStyle(document.documentElement).getPropertyValue(n).trim(); }
+function cssId(s) { return s.replace(/[^a-zA-Z0-9_-]/g, "_"); }
+function esc(s) { var d = document.createElement("i"); d.textContent = s; return d.innerHTML; }
+
+function spark(cv, pts, color, name) {
+  if (!cv) return;
+  var dpr = window.devicePixelRatio || 1;
+  if (cv.width !== 120 * dpr) { cv.width = 120 * dpr; cv.height = 26 * dpr; cv.style.width = "120px"; cv.style.height = "26px"; }
+  var ctx = cv.getContext("2d");
+  ctx.setTransform(dpr, 0, 0, dpr, 0, 0);
+  ctx.clearRect(0, 0, 120, 26);
+  if (pts.length < 2) return;
+  var min = Math.min.apply(null, pts), max = Math.max.apply(null, pts);
+  if (max - min < 1e-12) { min -= 0.5; max += 0.5; }
+  ctx.strokeStyle = color; ctx.lineWidth = 2; ctx.lineJoin = "round"; ctx.beginPath();
+  for (var i = 0; i < pts.length; i++) {
+    var x = 1 + (118 * i) / (pts.length - 1);
+    var y = 23 - (20 * (pts[i] - min)) / (max - min);
+    if (i === 0) ctx.moveTo(x, y); else ctx.lineTo(x, y);
+  }
+  ctx.stroke();
+  cv.title = name + ": last " + fmt(lastOf(pts), 3) + "  min " + fmt(min, 3) + "  max " + fmt(max, 3);
+}
+
+function tick() { if (dirty) render(); }
+setInterval(tick, 250);
+
+function fetchRuns() {
+  fetch("/api/runs").then(function (r) { return r.json(); }).then(function (d) {
+    seed(d.runs);
+  }).catch(function () {});
+}
+
+var sseUp = false;
+function connect() {
+  if (!window.EventSource) { poll(); return; }
+  var es = new EventSource("/events");
+  es.addEventListener("init", function (ev) {
+    sseUp = true;
+    document.getElementById("conn").textContent = "live over /events";
+    seed(JSON.parse(ev.data).runs);
+  });
+  es.addEventListener("run_start", function () { fetchRuns(); });
+  es.addEventListener("run_done", function () { fetchRuns(); });
+  es.addEventListener("epoch", function (ev) {
+    var m = JSON.parse(ev.data), e = ent(m.run), ep = m.epoch;
+    e.st.pct = ep.pct; e.st.mcyc_per_sec = ep.mcyc_per_sec;
+    e.st.open_incidents = ep.open_incidents; e.st.state = "running";
+    e.ar.push(ep.access_rate); e.qd.push(ep.queue_nm + ep.queue_fm);
+    if (e.ar.length > MAXPTS) e.ar.shift();
+    if (e.qd.length > MAXPTS) e.qd.shift();
+    dirty = true;
+  });
+  es.addEventListener("incident_open", function (ev) {
+    var m = JSON.parse(ev.data);
+    ent(m.run).inc.set(m.incident.kind, true); dirty = true;
+  });
+  es.addEventListener("incident_close", function (ev) {
+    var m = JSON.parse(ev.data);
+    ent(m.run).inc.delete(m.incident.kind); dirty = true;
+  });
+  es.onerror = function () {
+    if (!sseUp) { es.close(); poll(); }
+    else { document.getElementById("conn").textContent = "stream closed — reload to reconnect"; }
+  };
+}
+var polling = false;
+function poll() {
+  if (polling) return;
+  polling = true;
+  document.getElementById("conn").textContent = "polling /api/runs every 2s (no SSE)";
+  fetchRuns();
+  setInterval(fetchRuns, 2000);
+}
+connect();
+fetchRuns();
+</script>
+</body>
+</html>
+`

@@ -1,359 +1,39 @@
-// Package live is the simulator's embedded observability server: an
-// opt-in HTTP endpoint (silcfm-sim/-experiments/-bench -listen) that
-// exposes the state of in-flight runs while they execute.
+// Package live is the simulator's fleet observability hub: an HTTP-free
+// run Registry at the core, with an opt-in embedded HTTP Server
+// (silcfm-sim/-experiments/-bench -listen) as a thin view over it.
 //
-//	/metrics   Prometheus text exposition: every stats.Memory counter,
-//	           scheme gauges, queue depths and per-path demand-latency
-//	           percentiles, labeled by run id.
-//	/healthz   open health incidents as JSON; non-200 while any run has
-//	           an active incident.
-//	/progress  per-run sweep status with instruction progress, host-side
-//	           simulation rate and wall-clock ETA.
+//	/           embedded zero-dependency HTML dashboard: sweep progress
+//	            tree, fleet aggregate tiles, per-run sparklines, live over
+//	            /events with an /api/runs polling fallback.
+//	/api/runs   fleet aggregates plus every run's status as JSON, id-ordered.
+//	/events     SSE stream: one init snapshot, then per-epoch snapshots and
+//	            incident open/close transitions as they happen.
+//	/metrics    Prometheus text exposition: every stats.Memory counter,
+//	            scheme gauges, queue depths, per-path demand-latency
+//	            percentiles labeled by run id, plus unlabeled
+//	            silcfm_fleet_* aggregate families.
+//	/healthz    open health incidents as JSON; non-200 while any run has
+//	            an active incident.
+//	/progress   per-run sweep status with instruction progress, host-side
+//	            simulation rate, elapsed wall time and wall-clock ETA.
 //	/debug/pprof/...  the standard net/http/pprof profiles.
 //
 // The simulation goroutine publishes one snapshot per telemetry epoch
-// (harness.Spec.Publish -> Server.Hook) under a short mutex; scrapers
-// read the latest snapshot under the same mutex and never touch live
-// simulation state, so the hot loop never blocks on a slow client and
-// cycles/counters are provably unchanged with the server on or off.
+// (harness.Spec.Publish -> Registry.Hook) under a short mutex; readers see
+// value copies under the same mutex and never touch live simulation state,
+// and event fan-out uses bounded per-subscriber queues that drop-and-count
+// rather than block. The hot loop therefore never waits on a slow client,
+// and cycles/counters/incidents are provably unchanged with the hub on or
+// off (asserted end-to-end by ci.sh's live stage).
 package live
 
-import (
-	"encoding/json"
-	"fmt"
-	"net"
-	"net/http"
-	"net/http/pprof"
-	"sort"
-	"strconv"
-	"strings"
-	"sync"
-	"time"
+import "strings"
 
-	"silcfm/internal/health"
-	"silcfm/internal/mem"
-	"silcfm/internal/stats"
-	"silcfm/internal/telemetry"
-)
-
-// runState is the latest published snapshot of one run.
-type runState struct {
-	id      string
-	started time.Time
-
-	cycle       uint64
-	mem         stats.Memory
-	gauges      []mem.Gauge
-	lat         []stats.PathSummary
-	queueNM     int
-	queueFM     int
-	peakQueueNM int
-	peakQueueFM int
-	done, total uint64
-
-	open           []health.Incident
-	finished       bool
-	totalIncidents int
-}
-
-// Server serves the live observability endpoints for the runs of one
-// process. Create with New, attach runs with Hook/Done, stop with Close.
-type Server struct {
-	ln  net.Listener
-	srv *http.Server
-
-	mu   sync.Mutex
-	runs map[string]*runState
-}
-
-// New binds addr (host:port; ":0" picks a free port) and starts serving.
-func New(addr string) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("live: %w", err)
-	}
-	s := &Server{ln: ln, runs: map[string]*runState{}}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/progress", s.handleProgress)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.srv = &http.Server{Handler: mux}
-	go s.srv.Serve(ln)
-	return s, nil
-}
-
-// Addr returns the bound address (resolved port when addr was ":0").
-func (s *Server) Addr() string { return s.ln.Addr().String() }
-
-// URL returns the server's base URL.
-func (s *Server) URL() string { return "http://" + s.Addr() }
-
-// Close stops the server immediately.
-func (s *Server) Close() error { return s.srv.Close() }
-
-// Hook registers run id and returns the per-epoch publish callback to
-// install as harness.Spec.Publish. Nil-safe: a nil server returns a nil
-// hook, which the harness treats as "no publisher".
-func (s *Server) Hook(id string) func(telemetry.EpochState, []health.Incident) {
-	if s == nil {
-		return nil
-	}
-	s.mu.Lock()
-	s.runs[id] = &runState{id: id, started: time.Now()}
-	s.mu.Unlock()
-	return func(st telemetry.EpochState, open []health.Incident) {
-		// Reduce the live state to value copies before taking the lock:
-		// summarizing histograms is the expensive part and needs no mutex
-		// (it runs on the sim goroutine that owns the state).
-		lat := st.Lat.Summaries()
-		gauges := append([]mem.Gauge(nil), st.Sample.Gauges...)
-		memCopy := *st.Mem
-		openCopy := append([]health.Incident(nil), open...)
-
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		rs := s.runs[id]
-		if rs == nil || rs.finished {
-			return
-		}
-		rs.cycle = st.Sample.Cycle
-		rs.mem = memCopy
-		rs.gauges = gauges
-		rs.lat = lat
-		rs.queueNM, rs.queueFM = st.Sample.QueueNM, st.Sample.QueueFM
-		rs.peakQueueNM, rs.peakQueueFM = st.Sample.PeakQueueNM, st.Sample.PeakQueueFM
-		rs.done, rs.total = st.Done, st.Total
-		rs.open = openCopy
-	}
-}
-
-// Done marks run id complete with its final incident list; open incidents
-// clear (the run can no longer be unhealthy) and /progress reports it
-// done.
-func (s *Server) Done(id string, final []health.Incident) {
-	if s == nil {
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rs := s.runs[id]
-	if rs == nil {
-		rs = &runState{id: id, started: time.Now()}
-		s.runs[id] = rs
-	}
-	rs.finished = true
-	rs.open = nil
-	rs.totalIncidents = len(final)
-}
-
-// sorted returns the run snapshots in id order (deterministic exposition).
-// Caller must hold s.mu.
-func (s *Server) sorted() []*runState {
-	out := make([]*runState, 0, len(s.runs))
-	for _, rs := range s.runs {
-		out = append(out, rs)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
-	return out
-}
-
-// escapeLabel escapes a Prometheus label value.
+// escapeLabel escapes a Prometheus label value. Callers splice the result
+// directly between literal quotes — never re-quote it with %q, which would
+// double-escape the backslashes added here.
 func escapeLabel(v string) string {
 	v = strings.ReplaceAll(v, `\`, `\\`)
 	v = strings.ReplaceAll(v, `"`, `\"`)
 	return strings.ReplaceAll(v, "\n", `\n`)
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var b strings.Builder
-	s.mu.Lock()
-	runs := s.sorted()
-
-	writeFamily := func(name, typ, help string, rows func(*runState) []string) {
-		var lines []string
-		for _, rs := range runs {
-			lines = append(lines, rows(rs)...)
-		}
-		if len(lines) == 0 {
-			return
-		}
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-		for _, l := range lines {
-			b.WriteString(l)
-			b.WriteByte('\n')
-		}
-	}
-	runLabel := func(rs *runState) string { return `run="` + escapeLabel(rs.id) + `"` }
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
-
-	writeFamily("silcfm_cycle", "gauge", "Simulated cycle at the last published epoch.",
-		func(rs *runState) []string {
-			return []string{fmt.Sprintf("silcfm_cycle{%s} %s", runLabel(rs), u(rs.cycle))}
-		})
-	writeFamily("silcfm_access_rate", "gauge", "Fraction of LLC misses serviced from near memory (paper Eq. 1).",
-		func(rs *runState) []string {
-			return []string{fmt.Sprintf("silcfm_access_rate{%s} %s", runLabel(rs), f(rs.mem.AccessRate()))}
-		})
-	// Every cumulative stats.Memory counter, one family each.
-	if len(runs) > 0 {
-		for i, c := range runs[0].mem.Counters() {
-			i := i
-			writeFamily("silcfm_"+c.Name+"_total", "counter", "Cumulative "+c.Name+" counter.",
-				func(rs *runState) []string {
-					cs := rs.mem.Counters()
-					return []string{fmt.Sprintf("silcfm_%s_total{%s} %s", cs[i].Name, runLabel(rs), u(cs[i].Value))}
-				})
-		}
-	}
-	writeFamily("silcfm_queue_depth", "gauge", "Instantaneous device queue depth at the epoch boundary.",
-		func(rs *runState) []string {
-			return []string{
-				fmt.Sprintf("silcfm_queue_depth{%s,device=\"nm\"} %d", runLabel(rs), rs.queueNM),
-				fmt.Sprintf("silcfm_queue_depth{%s,device=\"fm\"} %d", runLabel(rs), rs.queueFM),
-			}
-		})
-	writeFamily("silcfm_queue_depth_peak", "gauge", "Per-epoch queue-depth high-water mark.",
-		func(rs *runState) []string {
-			return []string{
-				fmt.Sprintf("silcfm_queue_depth_peak{%s,device=\"nm\"} %d", runLabel(rs), rs.peakQueueNM),
-				fmt.Sprintf("silcfm_queue_depth_peak{%s,device=\"fm\"} %d", runLabel(rs), rs.peakQueueFM),
-			}
-		})
-	writeFamily("silcfm_scheme_gauge", "gauge", "Scheme-internal instantaneous gauges (mem.GaugeProvider).",
-		func(rs *runState) []string {
-			var out []string
-			for _, g := range rs.gauges {
-				out = append(out, fmt.Sprintf("silcfm_scheme_gauge{%s,name=%q} %s",
-					runLabel(rs), escapeLabel(g.Name), f(g.Value)))
-			}
-			return out
-		})
-	writeFamily("silcfm_demand_latency_count", "counter", "Demand completions per service path.",
-		func(rs *runState) []string {
-			var out []string
-			for _, p := range rs.lat {
-				out = append(out, fmt.Sprintf("silcfm_demand_latency_count{%s,path=%q} %s",
-					runLabel(rs), escapeLabel(p.Path), u(p.Count)))
-			}
-			return out
-		})
-	writeFamily("silcfm_demand_latency_cycles", "gauge", "Demand-latency percentile bounds per service path.",
-		func(rs *runState) []string {
-			var out []string
-			for _, p := range rs.lat {
-				for _, q := range []struct {
-					q string
-					v uint64
-				}{{"0.5", p.P50}, {"0.95", p.P95}, {"0.99", p.P99}} {
-					out = append(out, fmt.Sprintf("silcfm_demand_latency_cycles{%s,path=%q,quantile=%q} %s",
-						runLabel(rs), escapeLabel(p.Path), q.q, u(q.v)))
-				}
-			}
-			return out
-		})
-	writeFamily("silcfm_open_incidents", "gauge", "Health incidents currently active (see /healthz).",
-		func(rs *runState) []string {
-			return []string{fmt.Sprintf("silcfm_open_incidents{%s} %d", runLabel(rs), len(rs.open))}
-		})
-	writeFamily("silcfm_run_finished", "gauge", "1 once the run has completed.",
-		func(rs *runState) []string {
-			v := 0
-			if rs.finished {
-				v = 1
-			}
-			return []string{fmt.Sprintf("silcfm_run_finished{%s} %d", runLabel(rs), v)}
-		})
-	s.mu.Unlock()
-
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, b.String())
-}
-
-// HealthzRun is one run's slice of the /healthz body.
-type HealthzRun struct {
-	Run            string            `json:"run"`
-	Finished       bool              `json:"finished"`
-	OpenIncidents  []health.Incident `json:"open_incidents"`
-	TotalIncidents int               `json:"total_incidents"`
-}
-
-// Healthz is the /healthz response body.
-type Healthz struct {
-	Status string       `json:"status"` // "ok" or "incident"
-	Runs   []HealthzRun `json:"runs"`
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	body := Healthz{Status: "ok"}
-	s.mu.Lock()
-	for _, rs := range s.sorted() {
-		hr := HealthzRun{
-			Run:            rs.id,
-			Finished:       rs.finished,
-			OpenIncidents:  append([]health.Incident{}, rs.open...),
-			TotalIncidents: rs.totalIncidents,
-		}
-		if len(rs.open) > 0 {
-			body.Status = "incident"
-		}
-		body.Runs = append(body.Runs, hr)
-	}
-	s.mu.Unlock()
-
-	w.Header().Set("Content-Type", "application/json")
-	if body.Status != "ok" {
-		w.WriteHeader(http.StatusServiceUnavailable)
-	}
-	enc, _ := json.MarshalIndent(&body, "", "  ")
-	w.Write(append(enc, '\n'))
-}
-
-// ProgressRun is one run's slice of the /progress body.
-type ProgressRun struct {
-	Run        string  `json:"run"`
-	State      string  `json:"state"` // "running" or "done"
-	Cycle      uint64  `json:"cycle"`
-	InstrDone  uint64  `json:"instr_done"`
-	InstrTotal uint64  `json:"instr_total"`
-	Pct        float64 `json:"pct"`
-	McycPerSec float64 `json:"mcyc_per_sec"`
-	EtaSeconds float64 `json:"eta_seconds"`
-}
-
-func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
-	var body []ProgressRun
-	s.mu.Lock()
-	for _, rs := range s.sorted() {
-		pr := ProgressRun{
-			Run:        rs.id,
-			State:      "running",
-			Cycle:      rs.cycle,
-			InstrDone:  rs.done,
-			InstrTotal: rs.total,
-		}
-		if rs.finished {
-			pr.State = "done"
-		}
-		if rs.total > 0 {
-			pr.Pct = 100 * float64(rs.done) / float64(rs.total)
-		}
-		if elapsed := time.Since(rs.started).Seconds(); elapsed > 0 && !rs.finished {
-			pr.McycPerSec = float64(rs.cycle) / elapsed / 1e6
-			if rs.done > 0 && rs.total > rs.done {
-				pr.EtaSeconds = elapsed * float64(rs.total-rs.done) / float64(rs.done)
-			}
-		}
-		body = append(body, pr)
-	}
-	s.mu.Unlock()
-
-	w.Header().Set("Content-Type", "application/json")
-	enc, _ := json.MarshalIndent(body, "", "  ")
-	w.Write(append(enc, '\n'))
 }

@@ -17,7 +17,7 @@ import (
 )
 
 // tinySpec is a small SILC-FM run, optionally publishing to a live server.
-func tinySpec(publish func(telemetry.EpochState, []health.Incident)) harness.Spec {
+func tinySpec(publish func(telemetry.EpochState, health.Status)) harness.Spec {
 	m := config.Small()
 	m.Scheme = config.SchemeSILCFM
 	return harness.Spec{
@@ -126,13 +126,13 @@ func TestServerEndpointsAfterRealRun(t *testing.T) {
 }
 
 // publishState hands a synthetic epoch snapshot to a hook.
-func publishState(hook func(telemetry.EpochState, []health.Incident), cycle uint64, open []health.Incident) {
+func publishState(hook func(telemetry.EpochState, health.Status), cycle uint64, open []health.Incident) {
 	hook(telemetry.EpochState{
 		Sample: &telemetry.Sample{Cycle: cycle},
 		Mem:    &stats.Memory{},
 		Lat:    stats.NewPathLatencies(),
 		Done:   50, Total: 100,
-	}, open)
+	}, health.Status{Open: open})
 }
 
 func TestHealthzGoesUnhealthyWhileIncidentOpen(t *testing.T) {

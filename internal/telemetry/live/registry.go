@@ -1,0 +1,294 @@
+package live
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"silcfm/internal/health"
+	"silcfm/internal/mem"
+	"silcfm/internal/stats"
+	"silcfm/internal/telemetry"
+)
+
+// runState is the latest published snapshot of one run. All fields are
+// value copies taken on the simulation goroutine; readers only ever see
+// them under the registry mutex.
+type runState struct {
+	id      string
+	started time.Time
+
+	cycle       uint64
+	mem         stats.Memory
+	gauges      []mem.Gauge
+	lat         []stats.PathSummary
+	queueNM     int
+	queueFM     int
+	peakQueueNM int
+	peakQueueFM int
+	done, total uint64
+
+	open           []health.Incident
+	finished       bool
+	totalIncidents int
+
+	// finalElapsed/finalRate freeze the run's wall time and throughput at
+	// Done (computed from the last published cycle), so finished runs keep
+	// reporting their real rate instead of zero.
+	finalElapsed float64
+	finalRate    float64
+}
+
+// Registry is the HTTP-free fleet store at the center of the observability
+// hub: every run registers through Hook, publishes one snapshot per
+// telemetry epoch, and is marked complete with Done. Readers — the HTTP
+// Server, a sweep engine, a job API — take deterministic id-ordered
+// snapshots with Runs and Aggregate, or stream transitions with Subscribe.
+//
+// The publish path never blocks: snapshots are value copies taken under a
+// short mutex, and events fan out to subscribers through bounded queues
+// that drop-and-count rather than stall the simulation goroutine.
+type Registry struct {
+	mu      sync.Mutex
+	runs    map[string]*runState
+	subs    map[*Subscriber]struct{}
+	seq     uint64 // monotone event sequence, stamped under mu
+	dropped uint64 // drops accumulated from departed subscribers
+	closed  bool
+}
+
+// NewRegistry returns an empty run registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		runs: map[string]*runState{},
+		subs: map[*Subscriber]struct{}{},
+	}
+}
+
+// RunStatus is one run's public snapshot: the /api/runs row and the basis
+// of /progress and the fleet aggregates.
+type RunStatus struct {
+	Run        string  `json:"run"`
+	State      string  `json:"state"` // "running" or "done"
+	Cycle      uint64  `json:"cycle"`
+	InstrDone  uint64  `json:"instr_done"`
+	InstrTotal uint64  `json:"instr_total"`
+	Pct        float64 `json:"pct"`
+	McycPerSec float64 `json:"mcyc_per_sec"`
+	EtaSeconds float64 `json:"eta_seconds"`
+	// ElapsedSeconds is host wall time since Hook; frozen at Done so a
+	// finished run reports the wall time of the whole run.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// AccessRate is the cumulative NM service fraction (paper Eq. 1).
+	AccessRate     float64 `json:"access_rate"`
+	QueueNM        int     `json:"queue_nm"`
+	QueueFM        int     `json:"queue_fm"`
+	OpenIncidents  int     `json:"open_incidents"`
+	TotalIncidents int     `json:"total_incidents"`
+}
+
+// Fleet is the cross-run aggregate view: the dashboard's headline tiles
+// and the silcfm_fleet_* metric families.
+type Fleet struct {
+	Runs          int `json:"runs"`
+	RunsDone      int `json:"runs_done"`
+	OpenIncidents int `json:"open_incidents"`
+	// TotalIncidents sums finished runs' closed-incident counts plus
+	// running runs' currently-open counts.
+	TotalIncidents int `json:"total_incidents"`
+	// McycPerSec is the aggregate simulation throughput of the running
+	// runs (finished runs no longer contribute).
+	McycPerSec float64 `json:"mcyc_per_sec"`
+	// EtaSeconds is the slowest running run's wall-clock ETA — when the
+	// whole fleet should be done if every run stays linear.
+	EtaSeconds float64 `json:"eta_seconds"`
+	// Subscribers counts the attached /events streams; DroppedEvents
+	// counts frames dropped across all subscribers (bounded queues drop
+	// rather than block the simulation).
+	Subscribers   int    `json:"subscribers"`
+	DroppedEvents uint64 `json:"dropped_events"`
+}
+
+// Hook registers run id and returns the per-epoch publish callback to
+// install as harness.Spec.Publish. Re-registering an id (bench reps) resets
+// its snapshot. Nil-safe: a nil registry returns a nil hook, which the
+// harness treats as "no publisher".
+func (g *Registry) Hook(id string) func(telemetry.EpochState, health.Status) {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	g.runs[id] = &runState{id: id, started: time.Now()}
+	g.emitLocked(Event{Type: EventRunStart, Run: id})
+	g.mu.Unlock()
+	return func(st telemetry.EpochState, hs health.Status) {
+		// Reduce the live state to value copies before taking the lock:
+		// summarizing histograms is the expensive part and needs no mutex
+		// (it runs on the sim goroutine that owns the state).
+		lat := st.Lat.Summaries()
+		gauges := append([]mem.Gauge(nil), st.Sample.Gauges...)
+		memCopy := *st.Mem
+		openCopy := append([]health.Incident(nil), hs.Open...)
+
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		rs := g.runs[id]
+		if rs == nil || rs.finished {
+			return
+		}
+		rs.cycle = st.Sample.Cycle
+		rs.mem = memCopy
+		rs.gauges = gauges
+		rs.lat = lat
+		rs.queueNM, rs.queueFM = st.Sample.QueueNM, st.Sample.QueueFM
+		rs.peakQueueNM, rs.peakQueueFM = st.Sample.PeakQueueNM, st.Sample.PeakQueueFM
+		rs.done, rs.total = st.Done, st.Total
+		rs.open = openCopy
+
+		if len(g.subs) == 0 {
+			return
+		}
+		for i := range hs.Opened {
+			in := hs.Opened[i]
+			g.emitLocked(Event{Type: EventIncidentOpen, Run: id, Incident: &in})
+		}
+		for i := range hs.Closed {
+			in := hs.Closed[i]
+			g.emitLocked(Event{Type: EventIncidentClose, Run: id, Incident: &in})
+		}
+		ep := EpochEvent{
+			Cycle:         st.Sample.Cycle,
+			InstrDone:     st.Done,
+			InstrTotal:    st.Total,
+			Pct:           pct(st.Done, st.Total),
+			AccessRate:    st.Sample.AccessRate,
+			QueueNM:       st.Sample.QueueNM,
+			QueueFM:       st.Sample.QueueFM,
+			PeakQueueNM:   st.Sample.PeakQueueNM,
+			PeakQueueFM:   st.Sample.PeakQueueFM,
+			McycPerSec:    stats.Ratio(float64(rs.cycle), time.Since(rs.started).Seconds()) / 1e6,
+			OpenIncidents: len(openCopy),
+		}
+		g.emitLocked(Event{Type: EventEpoch, Run: id, Epoch: &ep})
+	}
+}
+
+// Done marks run id complete with its final incident list; open incidents
+// clear (the run can no longer be unhealthy), and the last published cycle
+// is frozen into a final elapsed/throughput figure so /progress and
+// /api/runs keep reporting it.
+func (g *Registry) Done(id string, final []health.Incident) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rs := g.runs[id]
+	if rs == nil {
+		rs = &runState{id: id, started: time.Now()}
+		g.runs[id] = rs
+	}
+	if !rs.finished {
+		rs.finalElapsed = time.Since(rs.started).Seconds()
+		rs.finalRate = stats.Ratio(float64(rs.cycle), rs.finalElapsed) / 1e6
+	}
+	rs.finished = true
+	rs.open = nil
+	rs.totalIncidents = len(final)
+	g.emitLocked(Event{Type: EventRunDone, Run: id})
+}
+
+// Runs returns every run's status in id order (deterministic reads).
+func (g *Registry) Runs() []RunStatus {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]RunStatus, 0, len(g.runs))
+	for _, rs := range g.sortedLocked() {
+		out = append(out, rs.status())
+	}
+	return out
+}
+
+// Aggregate reduces the fleet to its headline numbers.
+func (g *Registry) Aggregate() Fleet {
+	if g == nil {
+		return Fleet{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.aggregateLocked()
+}
+
+func (g *Registry) aggregateLocked() Fleet {
+	fl := Fleet{Subscribers: len(g.subs), DroppedEvents: g.dropped}
+	for sub := range g.subs {
+		fl.DroppedEvents += sub.dropped.Load()
+	}
+	for _, rs := range g.runs {
+		fl.Runs++
+		if rs.finished {
+			fl.RunsDone++
+			fl.TotalIncidents += rs.totalIncidents
+			continue
+		}
+		fl.OpenIncidents += len(rs.open)
+		fl.TotalIncidents += len(rs.open)
+		st := rs.status()
+		fl.McycPerSec += st.McycPerSec
+		if st.EtaSeconds > fl.EtaSeconds {
+			fl.EtaSeconds = st.EtaSeconds
+		}
+	}
+	return fl
+}
+
+// status reduces a runState to its public snapshot. Caller holds the
+// registry mutex.
+func (rs *runState) status() RunStatus {
+	st := RunStatus{
+		Run:            rs.id,
+		State:          "running",
+		Cycle:          rs.cycle,
+		InstrDone:      rs.done,
+		InstrTotal:     rs.total,
+		Pct:            pct(rs.done, rs.total),
+		AccessRate:     rs.mem.AccessRate(),
+		QueueNM:        rs.queueNM,
+		QueueFM:        rs.queueFM,
+		OpenIncidents:  len(rs.open),
+		TotalIncidents: rs.totalIncidents,
+	}
+	if rs.finished {
+		st.State = "done"
+		st.ElapsedSeconds = rs.finalElapsed
+		st.McycPerSec = rs.finalRate
+		return st
+	}
+	elapsed := time.Since(rs.started).Seconds()
+	st.ElapsedSeconds = elapsed
+	st.McycPerSec = stats.Ratio(float64(rs.cycle), elapsed) / 1e6
+	if rs.done > 0 && rs.total > rs.done {
+		st.EtaSeconds = elapsed * float64(rs.total-rs.done) / float64(rs.done)
+	}
+	return st
+}
+
+// sortedLocked returns the run snapshots in id order. Caller holds g.mu.
+func (g *Registry) sortedLocked() []*runState {
+	out := make([]*runState, 0, len(g.runs))
+	for _, rs := range g.runs {
+		out = append(out, rs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func pct(done, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(done) / float64(total)
+}

@@ -1,0 +1,188 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"silcfm/internal/health"
+)
+
+// Event types on the /events stream, in the order a run emits them.
+const (
+	EventRunStart      = "run_start"
+	EventEpoch         = "epoch"
+	EventIncidentOpen  = "incident_open"
+	EventIncidentClose = "incident_close"
+	EventRunDone       = "run_done"
+)
+
+// Event is one frame of the /events SSE stream (and of Subscriber.Events
+// for in-process consumers). Seq is a registry-wide monotone sequence
+// number; gaps at a subscriber mean its bounded queue dropped frames.
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	Type string `json:"type"`
+	Run  string `json:"run"`
+	// Epoch is set on "epoch" events.
+	Epoch *EpochEvent `json:"epoch,omitempty"`
+	// Incident is set on "incident_open"/"incident_close" events: the
+	// opening snapshot, or the last open snapshot before the close.
+	Incident *health.Incident `json:"incident,omitempty"`
+}
+
+// EpochEvent is the per-epoch slice of an Event: enough to drive progress
+// bars and sparklines without resnapshotting the whole run.
+type EpochEvent struct {
+	Cycle      uint64  `json:"cycle"`
+	InstrDone  uint64  `json:"instr_done"`
+	InstrTotal uint64  `json:"instr_total"`
+	Pct        float64 `json:"pct"`
+	// AccessRate is this epoch's windowed NM service share (not the
+	// cumulative run value /api/runs reports).
+	AccessRate    float64 `json:"access_rate"`
+	QueueNM       int     `json:"queue_nm"`
+	QueueFM       int     `json:"queue_fm"`
+	PeakQueueNM   int     `json:"peak_queue_nm"`
+	PeakQueueFM   int     `json:"peak_queue_fm"`
+	McycPerSec    float64 `json:"mcyc_per_sec"`
+	OpenIncidents int     `json:"open_incidents"`
+}
+
+// DefaultSubscriberBuffer is the per-subscriber event queue length used
+// when Subscribe is given a non-positive buffer size.
+const DefaultSubscriberBuffer = 256
+
+// Subscriber is one attached event stream. Read frames from Events; the
+// channel closes on Unsubscribe or registry Close. A subscriber that reads
+// slower than the fleet publishes loses frames (counted by Dropped) — the
+// publish path never blocks the simulation goroutine.
+type Subscriber struct {
+	ch      chan Event
+	dropped atomic.Uint64
+}
+
+// Events is the subscriber's frame channel.
+func (s *Subscriber) Events() <-chan Event { return s.ch }
+
+// Dropped reports how many frames this subscriber's full queue discarded.
+func (s *Subscriber) Dropped() uint64 { return s.dropped.Load() }
+
+// Subscribe attaches a new event stream with the given queue length
+// (<= 0 selects DefaultSubscriberBuffer). On a closed registry the
+// returned subscriber's channel is already closed.
+func (g *Registry) Subscribe(buf int) *Subscriber {
+	if buf <= 0 {
+		buf = DefaultSubscriberBuffer
+	}
+	sub := &Subscriber{ch: make(chan Event, buf)}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		close(sub.ch)
+		return sub
+	}
+	g.subs[sub] = struct{}{}
+	return sub
+}
+
+// Unsubscribe detaches sub and closes its channel. Idempotent.
+func (g *Registry) Unsubscribe(sub *Subscriber) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.subs[sub]; !ok {
+		return
+	}
+	delete(g.subs, sub)
+	g.dropped += sub.dropped.Load()
+	close(sub.ch)
+}
+
+// Close detaches every subscriber (closing their channels, which drains
+// any /events handlers) and refuses new subscriptions. Runs can still
+// publish afterwards; their snapshots stay readable.
+func (g *Registry) Close() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for sub := range g.subs {
+		delete(g.subs, sub)
+		g.dropped += sub.dropped.Load()
+		close(sub.ch)
+	}
+}
+
+// emitLocked stamps ev with the next sequence number and offers it to
+// every subscriber without blocking: a full queue drops the frame and
+// counts it. Caller holds g.mu.
+func (g *Registry) emitLocked(ev Event) {
+	if g.closed || len(g.subs) == 0 {
+		return
+	}
+	g.seq++
+	ev.Seq = g.seq
+	for sub := range g.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped.Add(1)
+		}
+	}
+}
+
+// sseInit is the first frame of every /events stream: the complete current
+// fleet state, so late subscribers start from a full picture instead of an
+// empty one.
+type sseInit struct {
+	Runs  []RunStatus `json:"runs"`
+	Fleet Fleet       `json:"fleet"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	// Subscribe before the init snapshot so no transition between the
+	// snapshot and the first streamed frame is lost (duplicates are fine,
+	// gaps are not).
+	sub := s.reg.Subscribe(0)
+	defer s.reg.Unsubscribe(sub)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	init, err := json.Marshal(sseInit{Runs: s.reg.Runs(), Fleet: s.reg.Aggregate()})
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: init\ndata: %s\n\n", init)
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, b)
+			fl.Flush()
+		}
+	}
+}

@@ -1,7 +1,8 @@
 // Command livecheck validates a running live observability server
-// (silcfm-sim/-experiments/-bench -listen): it scrapes /metrics, /healthz,
-// /progress and /debug/pprof/cmdline and checks each response is
-// well-formed. Used by ci.sh's live-endpoint stage.
+// (silcfm-sim/-experiments/-bench -listen): it fetches the dashboard,
+// /api/runs, the first /events SSE frame, /metrics, /healthz, /progress
+// and /debug/pprof/cmdline and checks each response is well-formed. Used
+// by ci.sh's live-endpoint stage.
 //
 // Usage:
 //
@@ -9,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -35,9 +37,49 @@ func main() {
 }
 
 func check(client *http.Client, base string) error {
+	// /: the embedded dashboard, served as HTML with its event wiring.
+	body, err := fetch(client, base+"/", http.StatusOK)
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{"<title>silcfm fleet</title>", "EventSource", "/api/runs"} {
+		if !strings.Contains(string(body), want) {
+			return fmt.Errorf("/: dashboard missing %q", want)
+		}
+	}
+	// Non-root unknown paths 404 instead of falling through to the dashboard.
+	if _, status, err := fetchAny(client, base+"/no-such-page"); err != nil {
+		return err
+	} else if status != http.StatusNotFound {
+		return fmt.Errorf("/no-such-page: status %d, want 404", status)
+	}
+
+	// /api/runs: fleet aggregates plus per-run statuses.
+	body, err = fetch(client, base+"/api/runs", http.StatusOK)
+	if err != nil {
+		return err
+	}
+	var api struct {
+		Fleet live.Fleet       `json:"fleet"`
+		Runs  []live.RunStatus `json:"runs"`
+	}
+	if err := json.Unmarshal(body, &api); err != nil {
+		return fmt.Errorf("/api/runs: %w", err)
+	}
+	if len(api.Runs) == 0 || api.Fleet.Runs != len(api.Runs) {
+		return fmt.Errorf("/api/runs: fleet.runs=%d but %d runs listed", api.Fleet.Runs, len(api.Runs))
+	}
+
+	// /events: the stream opens with an init snapshot consistent with
+	// /api/runs (later frames only flow while runs publish, so only the
+	// first frame is read here).
+	if err := checkEvents(client, base, len(api.Runs)); err != nil {
+		return err
+	}
+
 	// /metrics: parseable Prometheus exposition carrying the expected
 	// metric families.
-	body, err := fetch(client, base+"/metrics", http.StatusOK)
+	body, err = fetch(client, base+"/metrics", http.StatusOK)
 	if err != nil {
 		return err
 	}
@@ -47,6 +89,9 @@ func check(client *http.Client, base string) error {
 	for _, family := range []string{
 		"silcfm_cycle", "silcfm_access_rate", "silcfm_llc_misses_total",
 		"silcfm_queue_depth_peak", "silcfm_open_incidents",
+		"silcfm_fleet_runs", "silcfm_fleet_runs_done", "silcfm_fleet_mcyc_per_sec",
+		"silcfm_fleet_eta_seconds", "silcfm_fleet_open_incidents",
+		"silcfm_fleet_sse_subscribers", "silcfm_fleet_sse_dropped_total",
 	} {
 		if !strings.Contains(string(body), "# TYPE "+family+" ") {
 			return fmt.Errorf("/metrics: missing family %s", family)
@@ -100,6 +145,55 @@ func check(client *http.Client, base string) error {
 		return err
 	}
 	return nil
+}
+
+// checkEvents opens the SSE stream and validates the init frame: correct
+// content type, "event: init" first, and a data payload whose run list
+// matches what /api/runs just reported.
+func checkEvents(client *http.Client, base string, wantRuns int) error {
+	resp, err := client.Get(base + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		return fmt.Errorf("/events: content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var event, data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && event != "":
+			// Frame complete.
+			if event != "init" {
+				return fmt.Errorf("/events: first frame is %q, want init", event)
+			}
+			var init struct {
+				Runs  []live.RunStatus `json:"runs"`
+				Fleet live.Fleet       `json:"fleet"`
+			}
+			if err := json.Unmarshal([]byte(data), &init); err != nil {
+				return fmt.Errorf("/events: init frame: %w", err)
+			}
+			if len(init.Runs) != wantRuns {
+				return fmt.Errorf("/events: init has %d runs, /api/runs has %d", len(init.Runs), wantRuns)
+			}
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("/events: %w", err)
+	}
+	return fmt.Errorf("/events: stream ended before the init frame")
 }
 
 func fetch(client *http.Client, url string, want int) ([]byte, error) {
