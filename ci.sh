@@ -7,6 +7,7 @@
 #   ./ci.sh bench    # only the bench-smoke + manifest-diff stage
 #   ./ci.sh perf     # only the perf-regression stage (speed/alloc bands)
 #   ./ci.sh live     # only the live-server endpoint + inertness stage
+#   ./ci.sh postmortem # only the flight-recorder capture/determinism/inertness stage
 #   ./ci.sh history  # only the cross-PR trajectory-report stage
 set -eu
 
@@ -87,6 +88,42 @@ live_smoke() {
 	/tmp/silcfm-bench -diff -noise 0 /tmp/live_off.json /tmp/live_subs.json
 }
 
+# Postmortem stage: run a thrashy configuration that opens incidents, and
+# prove the flight recorder's three contracts end to end: (1) it captures —
+# a bundle file appears and silcfm-postmortem renders a report naming the
+# trigger; (2) it is deterministic — a repeat run produces a byte-identical
+# bundle; (3) it is inert — the manifest of a recorder-on run is
+# byte-identical to a -flightrec=false run (the recorder may observe the
+# simulation but never perturb it).
+postmortem_smoke() {
+	go build -o /tmp/silcfm-sim ./cmd/silcfm-sim
+	go build -o /tmp/silcfm-postmortem ./cmd/silcfm-postmortem
+	rm -rf /tmp/pm_a /tmp/pm_b
+	/tmp/silcfm-sim -workload milc -instr 100000 -scale-instr=false \
+		-nm 8 -fm 32 -footscale 16 \
+		-postmortem-out /tmp/pm_a -manifest-out /tmp/pm_on.json >/dev/null
+	if [ ! -s /tmp/pm_a/bundle-000.json ]; then
+		echo "postmortem_smoke: thrash config produced no bundle" >&2
+		exit 1
+	fi
+	/tmp/silcfm-postmortem -o /tmp/pm_report.md /tmp/pm_a
+	grep -q '^# Postmortem: ' /tmp/pm_report.md
+	grep -q 'Evidence window' /tmp/pm_report.md
+	# Determinism: an identical rerun must reproduce every bundle byte.
+	/tmp/silcfm-sim -workload milc -instr 100000 -scale-instr=false \
+		-nm 8 -fm 32 -footscale 16 \
+		-postmortem-out /tmp/pm_b >/dev/null
+	for f in /tmp/pm_a/bundle-*.json; do
+		cmp "$f" "/tmp/pm_b/$(basename "$f")"
+	done
+	# Inertness: recorder off must leave the simulation manifest untouched.
+	/tmp/silcfm-sim -workload milc -instr 100000 -scale-instr=false \
+		-nm 8 -fm 32 -footscale 16 \
+		-flightrec=false -manifest-out /tmp/pm_off.json >/dev/null
+	go build -o /tmp/silcfm-bench ./cmd/silcfm-bench
+	/tmp/silcfm-bench -diff -noise 0 /tmp/pm_off.json /tmp/pm_on.json
+}
+
 # Trajectory stage: regenerate the cross-PR trajectory report from the
 # committed BENCH_PR*.json baselines and require it to match the committed
 # TRAJECTORY.md byte-for-byte. The report is a pure function of the input
@@ -117,6 +154,10 @@ if [ "${1:-}" = "live" ]; then
 	live_smoke
 	exit 0
 fi
+if [ "${1:-}" = "postmortem" ]; then
+	postmortem_smoke
+	exit 0
+fi
 if [ "${1:-}" = "history" ]; then
 	history_smoke
 	exit 0
@@ -144,5 +185,6 @@ go build ./...
 bench_smoke
 perf_gate
 live_smoke
+postmortem_smoke
 history_smoke
 go test -race ./...

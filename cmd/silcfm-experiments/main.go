@@ -22,7 +22,9 @@ import (
 	"time"
 
 	"silcfm/internal/config"
+	"silcfm/internal/flightrec"
 	"silcfm/internal/harness"
+	"silcfm/internal/health"
 	"silcfm/internal/manifest"
 	"silcfm/internal/stats"
 	"silcfm/internal/telemetry"
@@ -93,6 +95,8 @@ func main() {
 		traceDir     = flag.String("trace-out", "", "write per-run Perfetto movement traces into this directory as <label>_<workload>.json")
 		traceLimit   = flag.Int("trace-limit", 0, "movement-trace ring buffer size in events (0 = default 262144)")
 		profileDir   = flag.String("profile-out", "", "write per-run hotness profiles into this directory as <label>_<workload>.profile.jsonl")
+		healthDir    = flag.String("health-out", "", "write per-run health incidents into this directory as <label>_<workload>.health.jsonl (baseline included)")
+		pmDir        = flag.String("postmortem-out", "", "write per-run postmortem bundles into this directory under <label>_<workload>/ (only runs that opened an incident)")
 		progress     = flag.Bool("progress", false, "print one line per completed run to stderr")
 		shadowOn     = flag.Bool("shadow", false, "run the continuous shadow-data integrity checker on every run (slower)")
 		manifestOut  = flag.String("manifest-out", "", "write a run manifest covering every table3/fig6/fig7 run to this file")
@@ -126,6 +130,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "live:", srv.URL())
 		cfg.Live = srv
 		defer srv.Close()
+	}
+	for _, dir := range []string{*healthDir, *pmDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "silcfm-experiments:", err)
+			os.Exit(1)
+		}
+	}
+	// writeCell records one finished run's incident outputs: its health
+	// JSONL (every cell, healthy ones included — an empty file is evidence
+	// too) and its postmortem bundle directory (only cells that captured).
+	writeCell := func(label, wl string, r *harness.Result) {
+		if *healthDir != "" {
+			path := filepath.Join(*healthDir, label+"_"+wl+".health.jsonl")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "silcfm-experiments:", err)
+				os.Exit(1)
+			}
+			werr := health.WriteJSONL(f, r.Health)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "silcfm-experiments:", werr)
+				os.Exit(1)
+			}
+			files.add(label, wl, "health", path)
+		}
+		if *pmDir != "" && len(r.Bundles) > 0 {
+			dir := filepath.Join(*pmDir, label+"_"+wl)
+			if _, err := flightrec.WriteDir(dir, r.Bundles); err != nil {
+				fmt.Fprintln(os.Stderr, "silcfm-experiments:", err)
+				os.Exit(1)
+			}
+			files.add(label, wl, "postmortem", dir)
+		}
 	}
 	if *metricsDir != "" || *traceDir != "" || *profileDir != "" {
 		for _, dir := range []string{*metricsDir, *traceDir, *profileDir} {
@@ -203,15 +246,21 @@ func main() {
 
 	man := manifest.New("silcfm-experiments", "")
 	addSweep := func(figure string, sw *harness.SweepResult) {
-		if *manifestOut == "" || sw == nil {
+		if sw == nil {
 			return
 		}
 		for wl, r := range sw.Baseline {
-			man.Add(manifest.FromResult(figure+"/baseline/"+wl, r))
+			if *manifestOut != "" {
+				man.Add(manifest.FromResult(figure+"/baseline/"+wl, r))
+			}
+			writeCell("baseline", wl, r)
 		}
 		for label, runs := range sw.Runs {
 			for wl, r := range runs {
-				man.Add(manifest.FromResult(figure+"/"+label+"/"+wl, r))
+				if *manifestOut != "" {
+					man.Add(manifest.FromResult(figure+"/"+label+"/"+wl, r))
+				}
+				writeCell(label, wl, r)
 			}
 		}
 	}
@@ -224,10 +273,11 @@ func main() {
 			t, runs, err := harness.TableIII(cfg)
 			fail("table3", err)
 			emit(t)
-			if *manifestOut != "" {
-				for wl, r := range runs {
+			for wl, r := range runs {
+				if *manifestOut != "" {
 					man.Add(manifest.FromResult("table3/base/"+wl, r))
 				}
+				writeCell("base", wl, r)
 			}
 		})
 	}
@@ -288,6 +338,6 @@ func main() {
 	// artifacts are discoverable from the summary itself.
 	if len(files.byID) > 0 {
 		fmt.Println()
-		fmt.Println(files.table([]string{"metrics", "trace", "profile"}))
+		fmt.Println(files.table([]string{"metrics", "trace", "profile", "health", "postmortem"}))
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"silcfm"
+	"silcfm/internal/health"
 	"silcfm/internal/manifest"
 	"silcfm/internal/stats"
 )
@@ -50,6 +51,8 @@ func main() {
 		profileOut   = flag.String("profile-out", "", "write the per-block/per-PC hotness profile to this file (JSONL)")
 		profileTopK  = flag.Int("profile-topk", 0, "print the K hottest blocks and PCs after the run (0 = off)")
 		healthOut    = flag.String("health-out", "", "write the run's health incidents to this file (JSONL)")
+		pmOut        = flag.String("postmortem-out", "", "write incident postmortem bundles into this directory (bundle-NNN.json; render with silcfm-postmortem)")
+		flightrecOn  = flag.Bool("flightrec", true, "run the incident flight recorder (inert; -flightrec=false proves it)")
 		listen       = flag.String("listen", "", "serve live observability HTTP on this address (dashboard, /api/runs, /events, /metrics, /healthz, /progress, /debug/pprof)")
 		linger       = flag.Duration("listen-linger", 0, "keep the -listen server up this long after the run completes")
 		sseSubs      = flag.Int("sse-subs", 0, "attach this many draining /events SSE subscribers before the run starts (inertness testing)")
@@ -123,6 +126,8 @@ func main() {
 		ProfileOut:        *profileOut,
 		ProfileTopK:       *profileTopK,
 		HealthOut:         *healthOut,
+		PostmortemOut:     *pmOut,
+		DisableFlightrec:  !*flightrecOn,
 		Seed:              *seed,
 	}
 	if *progress {
@@ -192,7 +197,7 @@ func main() {
 		b.ShadowCheck = false
 		b.MetricsOut, b.TraceOut, b.ProgressOut = "", "", nil
 		b.ProfileOut, b.ProfileTopK = "", 0
-		b.HealthOut = ""
+		b.HealthOut, b.PostmortemOut = "", ""
 		var bentry *manifest.Entry
 		base, bentry, err = silcfm.RunEntry(b, "base/"+wlLabel)
 		if err != nil {
@@ -290,6 +295,10 @@ func printReport(r *silcfm.Report) {
 		for _, h := range r.Health {
 			fmt.Printf("  %-19s epochs %d-%d  cycles %d-%d  peak severity %.2f\n",
 				h.Kind, h.FirstEpoch, h.LastEpoch, h.FirstCycle, h.LastCycle, h.PeakSeverity)
+			if info, ok := health.Info(h.Kind); ok {
+				fmt.Printf("    fires when:      %s\n", info.Threshold)
+				fmt.Printf("    look first at:   %s\n", strings.Join(info.FirstLook, ", "))
+			}
 		}
 	}
 	if r.TopOffenders != "" {

@@ -1,0 +1,470 @@
+package flightrec_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"silcfm/internal/config"
+	"silcfm/internal/flightrec"
+	"silcfm/internal/harness"
+	"silcfm/internal/health"
+	"silcfm/internal/mem"
+	"silcfm/internal/sim"
+	"silcfm/internal/stats"
+	"silcfm/internal/telemetry"
+)
+
+// newRec builds a recorder over a bare system (engine only — the synthetic
+// tests feed Observe/DemandComplete directly, no simulation runs).
+func newRec(t *testing.T, cfg flightrec.Config) *flightrec.Recorder {
+	t.Helper()
+	r := flightrec.New(cfg, &mem.System{Eng: sim.NewEngine()}, "test-fp", "test/run")
+	if r == nil {
+		t.Fatal("New returned nil for an enabled config")
+	}
+	return r
+}
+
+// epochState synthesizes one epoch boundary. Epoch e spans cycles
+// [e*1000, (e+1)*1000), so epoch 0's window starts at cycle 0 and ring
+// events stamped at cycle 0 fall inside any pre-window that reaches it.
+func epochState(epoch uint64) telemetry.EpochState {
+	return telemetry.EpochState{
+		Sample: &telemetry.Sample{
+			Epoch:      epoch,
+			Cycle:      (epoch + 1) * 1000,
+			SpanCycles: 1000,
+			LLCMisses:  100 + epoch,
+			Gauges:     []mem.Gauge{{Name: "locked_frames", Value: float64(epoch)}},
+		},
+	}
+}
+
+// incident builds a minimal open-incident record for kind at epoch e.
+func incident(kind string, e uint64) health.Incident {
+	return health.Incident{Kind: kind, FirstEpoch: e, LastEpoch: e, PeakSeverity: 1.5}
+}
+
+// feed observes epochs [from, to) with no incident activity.
+func feed(r *flightrec.Recorder, from, to uint64) {
+	for e := from; e < to; e++ {
+		r.Observe(epochState(e), health.Status{})
+	}
+}
+
+// trigger opens kind at epoch e (the incident appears in Opened and Open).
+func trigger(r *flightrec.Recorder, kind string, e uint64) {
+	in := incident(kind, e)
+	r.Observe(epochState(e), health.Status{
+		Open:   []health.Incident{in},
+		Opened: []health.Incident{in},
+	})
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *flightrec.Recorder
+	r.Swap(mem.Location{}, mem.Location{})
+	r.Lock(1, 2, true)
+	r.Unlock(1, 2)
+	r.DemandComplete(&mem.Access{}, stats.PathBypass, 10)
+	r.Observe(epochState(0), health.Status{})
+	if b := r.Finish(); b != nil {
+		t.Errorf("nil recorder Finish = %v, want nil", b)
+	}
+	if b := r.Bundles(); b != nil {
+		t.Errorf("nil recorder Bundles = %v, want nil", b)
+	}
+	if d := r.DroppedCaptures(); d != 0 {
+		t.Errorf("nil recorder DroppedCaptures = %d, want 0", d)
+	}
+}
+
+func TestDisabledConfigReturnsNil(t *testing.T) {
+	r := flightrec.New(flightrec.Config{Disabled: true}, &mem.System{Eng: sim.NewEngine()}, "fp", "run")
+	if r != nil {
+		t.Fatal("New with Disabled returned a live recorder")
+	}
+}
+
+// TestCaptureLifecycle walks the full state machine: history fills, an
+// incident opens (freezing the ring as the pre-window), stays open, closes,
+// and the tail countdown finalizes an unforced bundle.
+func TestCaptureLifecycle(t *testing.T) {
+	r := newRec(t, flightrec.Config{HistoryEpochs: 4, TailEpochs: 2})
+	feed(r, 0, 5) // ring now holds epochs 1-4
+	trigger(r, health.KindSwapThrash, 5)
+	// Open through epoch 6, closed at 7, quiet 7 and 8 -> finalize at 8.
+	open := incident(health.KindSwapThrash, 5)
+	r.Observe(epochState(6), health.Status{Open: []health.Incident{open}})
+	closed := open
+	closed.LastEpoch = 7
+	r.Observe(epochState(7), health.Status{Closed: []health.Incident{closed}})
+	r.Observe(epochState(8), health.Status{})
+
+	bundles := r.Bundles()
+	if len(bundles) != 1 {
+		t.Fatalf("got %d bundles, want 1 (tail should have finalized)", len(bundles))
+	}
+	b := bundles[0]
+	if b.Trigger != health.KindSwapThrash || b.Forced {
+		t.Errorf("trigger=%q forced=%v, want %q unforced", b.Trigger, b.Forced, health.KindSwapThrash)
+	}
+	// Ring held epochs 2-5 at trigger time (capacity 4, trigger included).
+	if b.PreEpochs != 3 || b.FirstEpoch != 2 || b.LastEpoch != 8 {
+		t.Errorf("window pre=%d epochs %d-%d, want pre=3 epochs 2-8", b.PreEpochs, b.FirstEpoch, b.LastEpoch)
+	}
+	if b.FirstCycle != 2000 || b.LastCycle != 9000 {
+		t.Errorf("cycles %d-%d, want 2000-9000", b.FirstCycle, b.LastCycle)
+	}
+	if len(b.Epochs) != 7 {
+		t.Errorf("captured %d epochs, want 7 (4 ring + 6,7,8)", len(b.Epochs))
+	}
+	if b.Epochs[b.PreEpochs].Sample.Epoch != 5 {
+		t.Errorf("trigger record is epoch %d, want 5", b.Epochs[b.PreEpochs].Sample.Epoch)
+	}
+	if len(b.Incidents) != 1 || b.Incidents[0].LastEpoch != 7 {
+		t.Errorf("incidents = %+v, want the one closed record", b.Incidents)
+	}
+	if len(b.OpenKinds) != 0 {
+		t.Errorf("unforced bundle has open kinds %v", b.OpenKinds)
+	}
+	if len(b.Rules) != 1 || b.Rules[0].Kind != health.KindSwapThrash || b.Rules[0].OpenEpochs != 2 {
+		t.Errorf("rule traces = %+v, want swap-thrash open at 2 boundaries", b.Rules)
+	}
+	// Finish with nothing in flight adds no forced bundle.
+	if out := r.Finish(); len(out) != 1 {
+		t.Errorf("Finish returned %d bundles, want 1", len(out))
+	}
+}
+
+// TestRingCapacityOne is the tightest boundary: a one-slot history ring
+// means the trigger epoch is the whole window and there is no pre-history.
+func TestRingCapacityOne(t *testing.T) {
+	r := newRec(t, flightrec.Config{HistoryEpochs: 1, TailEpochs: 1})
+	feed(r, 0, 5)
+	trigger(r, health.KindLockChurn, 5)
+	r.Observe(epochState(6), health.Status{})
+	bundles := r.Bundles()
+	if len(bundles) != 1 {
+		t.Fatalf("got %d bundles, want 1", len(bundles))
+	}
+	b := bundles[0]
+	if b.PreEpochs != 0 || b.FirstEpoch != 5 {
+		t.Errorf("pre=%d first=%d, want pre=0 first=5", b.PreEpochs, b.FirstEpoch)
+	}
+	if len(b.Epochs) != 2 || b.Epochs[0].Sample.Epoch != 5 {
+		t.Errorf("epochs = %d starting at %d, want 2 starting at 5", len(b.Epochs), b.Epochs[0].Sample.Epoch)
+	}
+}
+
+// TestPreWindowShorterThanHistory: an incident in the run's first epochs
+// must capture only what exists, not a full ring of stale slots.
+func TestPreWindowShorterThanHistory(t *testing.T) {
+	r := newRec(t, flightrec.Config{HistoryEpochs: 16, TailEpochs: 1})
+	feed(r, 0, 2)
+	trigger(r, health.KindQueueSaturation, 2)
+	r.Observe(epochState(3), health.Status{})
+	bundles := r.Bundles()
+	if len(bundles) != 1 {
+		t.Fatalf("got %d bundles, want 1", len(bundles))
+	}
+	b := bundles[0]
+	if b.PreEpochs != 2 || b.FirstEpoch != 0 || len(b.Epochs) != 4 {
+		t.Errorf("pre=%d first=%d n=%d, want pre=2 first=0 n=4", b.PreEpochs, b.FirstEpoch, len(b.Epochs))
+	}
+	for i := range b.Epochs {
+		if b.Epochs[i].Sample.Epoch != uint64(i) {
+			t.Fatalf("epoch record %d holds epoch %d, want oldest-first 0,1,2,3", i, b.Epochs[i].Sample.Epoch)
+		}
+	}
+}
+
+// TestRingExactWrap fills the ring an exact multiple of its capacity before
+// triggering, so head has wrapped back to zero: the oldest-first walk must
+// still produce strictly increasing epochs.
+func TestRingExactWrap(t *testing.T) {
+	r := newRec(t, flightrec.Config{HistoryEpochs: 4, TailEpochs: 1})
+	feed(r, 0, 8) // two full revolutions; head back at slot 0
+	trigger(r, health.KindSwapThrash, 8)
+	r.Observe(epochState(9), health.Status{})
+	bundles := r.Bundles()
+	if len(bundles) != 1 {
+		t.Fatalf("got %d bundles, want 1", len(bundles))
+	}
+	b := bundles[0]
+	if b.PreEpochs != 3 || b.FirstEpoch != 5 {
+		t.Errorf("pre=%d first=%d, want pre=3 first=5", b.PreEpochs, b.FirstEpoch)
+	}
+	want := uint64(5)
+	for i := range b.Epochs {
+		if b.Epochs[i].Sample.Epoch != want {
+			t.Fatalf("epoch record %d holds epoch %d, want %d", i, b.Epochs[i].Sample.Epoch, want)
+		}
+		want++
+	}
+	// Each record owns its gauges: ring reuse after capture must not reach
+	// into an emitted bundle.
+	feed(r, 10, 20)
+	if g := b.Epochs[0].Sample.Gauges[0].Value; g != 5 {
+		t.Errorf("bundle gauge mutated to %v after ring reuse, want 5", g)
+	}
+}
+
+// TestForcedFlushAtFinish: a capture still in flight at end of run becomes
+// a forced bundle naming the still-open kinds in detector order.
+func TestForcedFlushAtFinish(t *testing.T) {
+	r := newRec(t, flightrec.Config{HistoryEpochs: 4})
+	feed(r, 0, 3)
+	trigger(r, health.KindSwapThrash, 3)
+	open := []health.Incident{incident(health.KindSwapThrash, 3), incident(health.KindQueueSaturation, 4)}
+	r.Observe(epochState(4), health.Status{Open: open, Opened: open[1:]})
+	out := r.Finish()
+	if len(out) != 1 {
+		t.Fatalf("Finish returned %d bundles, want 1 forced", len(out))
+	}
+	b := out[0]
+	if !b.Forced || b.Trigger != health.KindSwapThrash {
+		t.Errorf("forced=%v trigger=%q, want forced swap-thrash", b.Forced, b.Trigger)
+	}
+	wantKinds := []string{health.KindSwapThrash, health.KindQueueSaturation}
+	if len(b.OpenKinds) != 2 || b.OpenKinds[0] != wantKinds[0] || b.OpenKinds[1] != wantKinds[1] {
+		t.Errorf("open kinds = %v, want %v (detector order)", b.OpenKinds, wantKinds)
+	}
+}
+
+// TestMaxBundlesDropsLaterCaptures: opens past the bundle cap are refused
+// and counted, never silently captured.
+func TestMaxBundlesDropsLaterCaptures(t *testing.T) {
+	r := newRec(t, flightrec.Config{HistoryEpochs: 2, TailEpochs: 1, MaxBundles: 1})
+	trigger(r, health.KindSwapThrash, 0)
+	r.Observe(epochState(1), health.Status{}) // tail -> bundle 0
+	trigger(r, health.KindSwapThrash, 2)      // refused: cap reached
+	r.Observe(epochState(3), health.Status{})
+	if n := len(r.Bundles()); n != 1 {
+		t.Errorf("got %d bundles, want 1", n)
+	}
+	if d := r.DroppedCaptures(); d != 1 {
+		t.Errorf("DroppedCaptures = %d, want 1", d)
+	}
+}
+
+// TestEventExcerptBounds: the pre-trigger excerpt keeps the newest events
+// when the ring holds more than MaxBundleEvents, and during-capture
+// overflow is counted rather than grown.
+func TestEventExcerptBounds(t *testing.T) {
+	r := newRec(t, flightrec.Config{HistoryEpochs: 2, TailEpochs: 1, MaxBundleEvents: 4})
+	for i := uint64(0); i < 10; i++ {
+		r.Lock(i, 100+i, false) // engine never advances: all at cycle 0
+	}
+	trigger(r, health.KindLockChurn, 0) // epoch 0 spans cycle 0: all in window
+	for i := uint64(0); i < 3; i++ {
+		r.Unlock(i, 100+i) // during capture, but the excerpt is already full
+	}
+	r.Observe(epochState(1), health.Status{})
+	bundles := r.Bundles()
+	if len(bundles) != 1 {
+		t.Fatalf("got %d bundles, want 1", len(bundles))
+	}
+	b := bundles[0]
+	if len(b.Events) != 4 {
+		t.Fatalf("excerpt holds %d events, want 4", len(b.Events))
+	}
+	// Newest pre-trigger events kept: locks of frames 6-9.
+	for i, ev := range b.Events {
+		if ev.Kind != "lock" || ev.Src != uint64(6+i) {
+			t.Errorf("event %d = %+v, want lock frame %d", i, ev, 6+i)
+		}
+	}
+	if b.EventsDropped != 9 { // 6 older pre-trigger + 3 during-capture
+		t.Errorf("EventsDropped = %d, want 9", b.EventsDropped)
+	}
+}
+
+// TestOffenderTopK: per-epoch top-K selection is count desc then block asc,
+// and the table resets between epochs.
+func TestOffenderTopK(t *testing.T) {
+	r := newRec(t, flightrec.Config{HistoryEpochs: 2, TailEpochs: 1, TopK: 3})
+	hit := func(block, times uint64) {
+		a := &mem.Access{PAddr: block << 11}
+		for i := uint64(0); i < times; i++ {
+			r.DemandComplete(a, stats.PathNMHit, 100)
+		}
+	}
+	hit(7, 5)
+	hit(3, 5) // ties block 7 on count; lower block ranks first
+	hit(9, 9)
+	hit(1, 1) // squeezed out of the top 3
+	trigger(r, health.KindSwapThrash, 0)
+	hit(42, 2) // next epoch's table starts clean
+	r.Observe(epochState(1), health.Status{})
+	bundles := r.Bundles()
+	if len(bundles) != 1 {
+		t.Fatalf("got %d bundles, want 1", len(bundles))
+	}
+	b := bundles[0]
+	ep0 := b.Epochs[0]
+	want := []flightrec.Offender{
+		{Block: 9, Demands: 9, LatCycles: 900},
+		{Block: 3, Demands: 5, LatCycles: 500},
+		{Block: 7, Demands: 5, LatCycles: 500},
+	}
+	if len(ep0.Offenders) != len(want) {
+		t.Fatalf("epoch 0 offenders = %+v, want %+v", ep0.Offenders, want)
+	}
+	for i := range want {
+		if ep0.Offenders[i] != want[i] {
+			t.Errorf("epoch 0 offender %d = %+v, want %+v", i, ep0.Offenders[i], want[i])
+		}
+	}
+	if ep0.OffenderBlocks != 4 {
+		t.Errorf("epoch 0 distinct blocks = %d, want 4", ep0.OffenderBlocks)
+	}
+	ep1 := b.Epochs[1]
+	if len(ep1.Offenders) != 1 || ep1.Offenders[0].Block != 42 {
+		t.Errorf("epoch 1 offenders = %+v, want only block 42 (table not cleared?)", ep1.Offenders)
+	}
+	// Window-wide aggregation merges both epochs.
+	if len(b.Offenders) == 0 || b.Offenders[0].Block != 9 {
+		t.Errorf("window offenders = %+v, want block 9 first", b.Offenders)
+	}
+}
+
+// TestSteadyStateObserveDoesNotAllocate: with no incident in flight, the
+// per-epoch and per-event paths must stay allocation-free once the gauge
+// buffers have warmed up — the recorder is always on, so its steady state
+// rides the simulation inner loop.
+func TestSteadyStateObserveDoesNotAllocate(t *testing.T) {
+	r := newRec(t, flightrec.Config{})
+	st := epochState(0)
+	attr := &stats.Attribution{}
+	st.Attr = attr
+	feed(r, 0, 32) // warm the gauge buffers through a full ring revolution
+	epoch := uint64(32)
+	avg := testing.AllocsPerRun(200, func() {
+		st.Sample.Epoch = epoch
+		st.Sample.Cycle = (epoch + 1) * 1000
+		attr.Count[stats.PathNMHit] += 10
+		r.Observe(st, health.Status{})
+		epoch++
+	})
+	if avg != 0 {
+		t.Errorf("steady-state Observe allocates %.1f objects/epoch, want 0", avg)
+	}
+	a := &mem.Access{PAddr: 123 << 11}
+	avg = testing.AllocsPerRun(200, func() {
+		r.DemandComplete(a, stats.PathBypass, 50)
+		r.Swap(mem.Location{Level: stats.NM, DevAddr: 1}, mem.Location{Level: stats.FM, DevAddr: 2})
+	})
+	if avg != 0 {
+		t.Errorf("steady-state event feed allocates %.1f objects/event, want 0", avg)
+	}
+}
+
+// TestSyntheticBundleDeterminism: two recorders fed the same sequence emit
+// byte-identical bundles, and the encoding round-trips through Decode.
+func TestSyntheticBundleDeterminism(t *testing.T) {
+	mk := func() *flightrec.Bundle {
+		r := newRec(t, flightrec.Config{HistoryEpochs: 4, TailEpochs: 2})
+		for i := uint64(0); i < 6; i++ {
+			r.Lock(i, 200+i, i%2 == 0)
+			r.DemandComplete(&mem.Access{PAddr: (300 + i) << 11}, stats.PathFM, 80+i)
+		}
+		feed(r, 0, 3)
+		trigger(r, health.KindSwapThrash, 3)
+		r.Observe(epochState(4), health.Status{})
+		r.Observe(epochState(5), health.Status{})
+		out := r.Finish()
+		if len(out) != 1 {
+			t.Fatalf("got %d bundles, want 1", len(out))
+		}
+		return &out[0]
+	}
+	var a, b bytes.Buffer
+	if err := mk().Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk().Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("identical feeds produced different bundle bytes:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	dec, err := flightrec.Decode(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if dec.Trigger != health.KindSwapThrash || len(dec.Epochs) != 6 {
+		t.Errorf("round-trip = trigger %q, %d epochs; want swap-thrash, 6", dec.Trigger, len(dec.Epochs))
+	}
+	if _, err := flightrec.Decode(strings.NewReader(`{"schema":"bogus-v9"}`)); err == nil {
+		t.Error("Decode accepted an unknown schema")
+	}
+}
+
+// thrashSpec is the small SILC-FM configuration the CI postmortem stage
+// uses: an 8 MB near memory under a milc footprint slice that reliably
+// opens swap-thrash (at epoch 0) and queue-saturation incidents.
+func thrashSpec() harness.Spec {
+	m := config.Default()
+	m.Scheme = config.SchemeSILCFM
+	m.NM = config.HBM(8 << 20)
+	m.FM = config.DDR3(32 << 20)
+	return harness.Spec{
+		Machine:      m,
+		Workload:     "milc",
+		InstrPerCore: 100_000,
+		FootScaleNum: 1,
+		FootScaleDen: 16,
+	}
+}
+
+// TestHarnessBundleByteDeterminism: a real thrashing run captures at least
+// one bundle, repeat runs reproduce every byte, and disabling the recorder
+// leaves the simulation's deterministic outcome untouched (inertness).
+func TestHarnessBundleByteDeterminism(t *testing.T) {
+	run := func(spec harness.Spec) *harness.Result {
+		t.Helper()
+		res, err := harness.Run(spec)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res
+	}
+	a := run(thrashSpec())
+	if len(a.Bundles) == 0 {
+		t.Fatal("thrash config captured no bundles")
+	}
+	if a.Bundles[0].Trigger == "" || a.Bundles[0].Fingerprint == "" {
+		t.Errorf("bundle missing trigger/fingerprint: %+v", a.Bundles[0])
+	}
+	b := run(thrashSpec())
+	if len(a.Bundles) != len(b.Bundles) {
+		t.Fatalf("repeat run captured %d bundles, first captured %d", len(b.Bundles), len(a.Bundles))
+	}
+	for i := range a.Bundles {
+		var ba, bb bytes.Buffer
+		if err := a.Bundles[i].Encode(&ba); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Bundles[i].Encode(&bb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+			t.Errorf("bundle %d differs between identical runs", i)
+		}
+	}
+
+	off := thrashSpec()
+	off.Flightrec = &flightrec.Config{Disabled: true}
+	c := run(off)
+	if len(c.Bundles) != 0 {
+		t.Errorf("disabled recorder produced %d bundles", len(c.Bundles))
+	}
+	if a.Cycles != c.Cycles {
+		t.Errorf("recorder changed Cycles: %d vs %d", a.Cycles, c.Cycles)
+	}
+	if a.Mem != c.Mem {
+		t.Errorf("recorder changed memory counters:\non  %+v\noff %+v", a.Mem, c.Mem)
+	}
+}

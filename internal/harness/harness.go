@@ -15,6 +15,7 @@ import (
 	"silcfm/internal/cpu"
 	"silcfm/internal/dram"
 	"silcfm/internal/energy"
+	"silcfm/internal/flightrec"
 	"silcfm/internal/health"
 	"silcfm/internal/mem"
 	"silcfm/internal/schemes/cameo"
@@ -71,6 +72,12 @@ type Spec struct {
 	// (internal/telemetry/live.Registry) attaches through; the referenced
 	// state is only valid during the call.
 	Publish func(telemetry.EpochState, health.Status)
+	// Flightrec configures the incident flight recorder
+	// (internal/flightrec). nil means enabled with defaults — every run
+	// keeps a bounded ring of recent epochs and movement events and emits a
+	// postmortem bundle per health incident; set Disabled to opt out. Like
+	// telemetry and health, the recorder is read-only and provably inert.
+	Flightrec *flightrec.Config
 }
 
 // Result is one completed simulation.
@@ -95,6 +102,11 @@ type Result struct {
 	// observed, in deterministic order (empty when none fired, nil when
 	// the detector was disabled).
 	Health []health.Incident
+	// Bundles holds the flight recorder's postmortem evidence bundles in
+	// emission order (empty when no incident opened, nil when the recorder
+	// was disabled). Deliberately absent from run manifests: bundles are
+	// written to their own files.
+	Bundles []flightrec.Bundle
 	// Profile is the hotness profiler, when Spec.Telemetry requested one.
 	Profile *telemetry.Profiler
 	// Spec is the effective spec this run executed (InstrPerCore defaulted,
@@ -164,6 +176,7 @@ func Run(spec Spec) (*Result, error) {
 	manifestSpec.Telemetry = nil
 	manifestSpec.Health = nil
 	manifestSpec.Publish = nil
+	manifestSpec.Flightrec = nil
 
 	gens := make([]workload.Generator, m.Cores)
 	targets := make([]uint64, m.Cores)
@@ -271,11 +284,22 @@ func Run(spec Spec) (*Result, error) {
 		hcfg.QueueCapFM = m.FM.Channels * (m.FM.ReadQueueLen + m.FM.WriteQueueLen)
 	}
 	det := health.NewDetector(hcfg)
+	// The flight recorder joins the observer fanout for movement events and
+	// the OnEpoch chain (below) for epoch state + health status. It stamps
+	// bundles with the same fingerprint the run manifest will carry.
+	fcfg := flightrec.Config{}
+	if spec.Flightrec != nil {
+		fcfg = *spec.Flightrec
+	}
+	rec := flightrec.New(fcfg, sys, manifestSpec.Fingerprint(), ctl.Name()+"/"+wlLabel)
+	if rec != nil {
+		sys.AttachObserver(rec)
+	}
 	tcfg := telemetry.Config{}
 	if spec.Telemetry != nil {
 		tcfg = *spec.Telemetry
 	}
-	if det != nil || spec.Publish != nil {
+	if det != nil || spec.Publish != nil || rec != nil {
 		userEpoch := tcfg.OnEpoch
 		publish := spec.Publish
 		// prevOpen carries the previous epoch's open set so every publish
@@ -285,11 +309,15 @@ func Run(spec Spec) (*Result, error) {
 		var prevOpen []health.Incident
 		tcfg.OnEpoch = func(st telemetry.EpochState) {
 			det.Observe(st.Sample)
-			if publish != nil {
+			if publish != nil || rec != nil {
 				open := det.Open()
 				opened, closed := health.DiffOpen(prevOpen, open)
 				prevOpen = open
-				publish(st, health.Status{Open: open, Opened: opened, Closed: closed})
+				hs := health.Status{Open: open, Opened: opened, Closed: closed}
+				rec.Observe(st, hs)
+				if publish != nil {
+					publish(st, hs)
+				}
 			}
 			if userEpoch != nil {
 				userEpoch(st)
@@ -324,6 +352,9 @@ func Run(spec Spec) (*Result, error) {
 
 	res := &Result{}
 	res.Health = det.Finish()
+	// Finish after telemetry Finish (the final partial epoch is pumped) so
+	// a capture still open at end of run flushes with the full window.
+	res.Bundles = rec.Finish()
 	res.Spec = manifestSpec
 	res.Workload = wlLabel
 	res.Scheme = ctl.Name()

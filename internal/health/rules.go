@@ -1,0 +1,92 @@
+package health
+
+import "fmt"
+
+// RuleInfo is one pathology rule's human-facing metadata: what the rule
+// means, the threshold it fires at (rendered from a resolved Config), and
+// which counters to look at first when it opens. Surfaced in the printed
+// health report, the /healthz JSON body, the dashboard tooltips and the
+// postmortem renderer.
+type RuleInfo struct {
+	Kind        string `json:"kind"`
+	Description string `json:"description"`
+	// Threshold renders the firing condition with the detector's resolved
+	// numeric thresholds filled in.
+	Threshold string `json:"threshold"`
+	// FirstLook lists the sample/evidence counters that most directly
+	// explain an incident of this kind, in suggested reading order.
+	FirstLook []string `json:"first_look"`
+}
+
+// Kinds returns the incident kinds in detector evaluation order.
+func Kinds() []string { return append([]string(nil), kinds[:]...) }
+
+// Rules renders every rule's metadata with cfg's thresholds resolved to
+// their effective values (zero fields take the documented defaults), in
+// detector evaluation order.
+func (c Config) Rules() []RuleInfo {
+	r := c.withDefaults()
+	return []RuleInfo{
+		{
+			Kind: KindSwapThrash,
+			Description: "The scheme moved more bytes between memory levels than it " +
+				"served to the cores: migration work is evicting its own working set " +
+				"instead of amortizing (the pathology SILC-FM's bandwidth bypass is " +
+				"meant to suppress, §III-E).",
+			Threshold: fmt.Sprintf("window swap bytes > %.2f x demand bytes with >= %d LLC misses over %d epochs",
+				r.SwapThrashRatio, r.MinWindowMisses, r.WindowEpochs),
+			FirstLook: []string{"swaps_in", "swaps_out", "demand_bytes_nm", "demand_bytes_fm", "migration_bytes_nm"},
+		},
+		{
+			Kind: KindBypassOscillation,
+			Description: "The access rate keeps crossing the bypass governor's target " +
+				"(or the governor itself keeps toggling): placement and bypassing are " +
+				"fighting each other instead of settling.",
+			Threshold: fmt.Sprintf("window access-rate crossings of %.2f (or governor toggles) >= %d over %d epochs",
+				r.BypassTarget, r.MinCrossings, r.WindowEpochs),
+			FirstLook: []string{"access_rate", "bypassed", "gauge bypass_toggles", "serviced_nm"},
+		},
+		{
+			Kind: KindLockChurn,
+			Description: "Blocks are being locked into near memory and promptly " +
+				"unlocked again: residency decisions reverse as fast as they are " +
+				"made, so the lock mechanism (§III-C) pays its cost without pinning " +
+				"anything long enough to matter.",
+			Threshold: fmt.Sprintf("min(window locks, window unlocks) >= %d over %d epochs",
+				r.LockChurnMin, r.WindowEpochs),
+			FirstLook: []string{"locks", "unlocks", "gauge locked_frames", "swaps_in"},
+		},
+		{
+			Kind: KindQueueSaturation,
+			Description: "A device's per-epoch peak queue depth stayed pinned near " +
+				"its capacity: the memory system is bandwidth-bound and demand " +
+				"latency is dominated by queueing, not service.",
+			Threshold: fmt.Sprintf("peak queue depth >= %.0f%% of device capacity in >= %d of %d epochs",
+				100*r.QueueSatFraction, r.QueueSatEpochs, r.WindowEpochs),
+			FirstLook: []string{"peak_queue_nm", "peak_queue_fm", "queue_nm", "queue_fm", "attribution queue span"},
+		},
+		{
+			Kind: KindPredictorCollapse,
+			Description: "The way/location predictor (§III-F) is guessing worse than " +
+				"the floor: demands pay the serialized metadata-fetch retry penalty " +
+				"more often than a coin flip would.",
+			Threshold: fmt.Sprintf("window predictor accuracy < %.2f with >= %d predictions over %d epochs",
+				r.PredictorFloor, r.PredictorMinSamples, r.WindowEpochs),
+			FirstLook: []string{"predictor_hits", "predictor_misses", "attribution mispredict span"},
+		},
+	}
+}
+
+// Rules returns the rule metadata at the default thresholds.
+func Rules() []RuleInfo { return Config{}.Rules() }
+
+// Info returns the metadata for one kind at the default thresholds; ok is
+// false for unknown kinds.
+func Info(kind string) (RuleInfo, bool) {
+	for _, r := range Rules() {
+		if r.Kind == kind {
+			return r, true
+		}
+	}
+	return RuleInfo{}, false
+}

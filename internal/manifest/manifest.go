@@ -25,7 +25,6 @@ import (
 	"runtime"
 	"sort"
 
-	"silcfm/internal/config"
 	"silcfm/internal/harness"
 	"silcfm/internal/health"
 	"silcfm/internal/stats"
@@ -182,20 +181,6 @@ type Host struct {
 	Reps            int     `json:"reps,omitempty"`
 }
 
-// fingerprintView is the hashed identity of a run: the full machine plus
-// every spec field that changes simulated behavior. ShadowCheck and
-// Telemetry are deliberately absent — both are provably inert.
-type fingerprintView struct {
-	Machine           config.Machine
-	Workload          string
-	Mix               []string
-	TracePath         string
-	InstrPerCore      uint64
-	ScaleInstrByClass bool
-	FootScaleNum      int
-	FootScaleDen      int
-}
-
 // Fingerprint returns a short stable hash of v's canonical encoding.
 func Fingerprint(v any) string {
 	b, err := Canonical(v)
@@ -209,20 +194,13 @@ func Fingerprint(v any) string {
 }
 
 // ConfigOf derives the manifest Config from the spec a run was launched
-// with (harness.Run stamps it into Result.Spec).
+// with (harness.Run stamps it into Result.Spec). The fingerprint itself is
+// computed by harness.Spec.Fingerprint so non-manifest consumers (the
+// flight recorder's postmortem bundles) share the identical identity.
 func ConfigOf(spec harness.Spec) Config {
 	m := spec.Machine
 	return Config{
-		Fingerprint: Fingerprint(fingerprintView{
-			Machine:           m,
-			Workload:          spec.Workload,
-			Mix:               spec.Mix,
-			TracePath:         spec.TracePath,
-			InstrPerCore:      spec.InstrPerCore,
-			ScaleInstrByClass: spec.ScaleInstrByClass,
-			FootScaleNum:      spec.FootScaleNum,
-			FootScaleDen:      spec.FootScaleDen,
-		}),
+		Fingerprint:       spec.Fingerprint(),
 		Scheme:            string(m.Scheme),
 		Workload:          spec.Workload,
 		Seed:              m.Seed,

@@ -75,6 +75,20 @@ canvas.spark { vertical-align: middle; }
 .okc { color: var(--ok); }
 .footer { margin-top: 14px; color: var(--text-2); font-size: 11px; }
 a { color: var(--s-rate); }
+h2 { font-size: 13px; margin: 20px 0 6px; font-weight: 600; }
+#incs td { cursor: pointer; }
+#incs tr:hover td { background: var(--surface-2); }
+#drill {
+  margin-top: 10px; border: 1px solid var(--border); border-radius: 6px;
+  background: var(--surface-2); padding: 12px 14px;
+}
+#drill h3 { font-size: 13px; margin: 0 0 6px; }
+#drill .meta { color: var(--text-2); font-size: 11px; margin-bottom: 8px; }
+#drill .rule { margin: 6px 0; font-size: 12px; }
+#drill .rule b { color: var(--crit); }
+#drill .sline { margin: 2px 0; }
+#drill .sname { display: inline-block; width: 110px; color: var(--text-2); font-size: 11px; }
+#drill .close { float: right; cursor: pointer; color: var(--text-2); }
 </style>
 </head>
 <body>
@@ -93,8 +107,17 @@ a { color: var(--s-rate); }
   </tr></thead>
   <tbody id="tree"></tbody>
 </table>
+<h2 id="inc-h" style="display:none">incident postmortems</h2>
+<table id="inc-table" style="display:none">
+  <thead><tr>
+    <th>run</th><th>trigger</th><th>epochs</th><th>pre</th><th>events</th><th>incidents</th><th></th>
+  </tr></thead>
+  <tbody id="incs"></tbody>
+</table>
+<div id="drill" style="display:none"></div>
 <div class="footer">
-  endpoints: <a href="/api/runs">/api/runs</a> &middot; <a href="/events">/events</a> &middot;
+  endpoints: <a href="/api/runs">/api/runs</a> &middot; <a href="/api/incidents">/api/incidents</a> &middot;
+  <a href="/events">/events</a> &middot;
   <a href="/metrics">/metrics</a> &middot; <a href="/healthz">/healthz</a> &middot;
   <a href="/progress">/progress</a> &middot; <a href="/debug/pprof/">/debug/pprof</a>
 </div>
@@ -191,7 +214,9 @@ function updateRow(id) {
   spark(row.querySelector('canvas[data-k="qd"]'), e.qd, cssVar("--s-queue"), "queue depth");
   var hl = row.querySelector(".hl");
   if (e.inc.size > 0) {
-    hl.innerHTML = '<span class="inc">&#9888; ' + esc(Array.from(e.inc.keys()).join(", ")) + "</span>";
+    var kinds = Array.from(e.inc.keys());
+    hl.innerHTML = '<span class="inc" title="' + esc(kinds.map(ruleTip).join("\n\n")) +
+      '">&#9888; ' + esc(kinds.join(", ")) + "</span>";
   } else if (st.state === "done") {
     hl.innerHTML = '<span class="okc">&#10003; done' +
       (st.total_incidents ? " (" + st.total_incidents + " incident" + (st.total_incidents > 1 ? "s" : "") + ")" : "") + "</span>";
@@ -234,6 +259,111 @@ function spark(cv, pts, color, name) {
 function tick() { if (dirty) render(); }
 setInterval(tick, 250);
 
+// Rule metadata (descriptions, thresholds, first-look counters) comes from
+// /healthz once; it feeds the health-column tooltips and the drill-down.
+var ruleInfo = {};
+fetch("/healthz").then(function (r) { return r.json(); }).then(function (d) {
+  (d.rules || []).forEach(function (r) { ruleInfo[r.kind] = r; });
+}).catch(function () {});
+function ruleTip(kind) {
+  var r = ruleInfo[kind];
+  if (!r) return kind;
+  return kind + ": " + r.description + "\nFires when: " + r.threshold +
+    "\nLook first at: " + (r.first_look || []).join(", ");
+}
+
+// Incident postmortems: the /api/incidents list plus a click-to-drill
+// evidence panel rendered from the full bundle.
+function fetchIncidents() {
+  fetch("/api/incidents").then(function (r) { return r.json(); }).then(function (d) {
+    var list = d.incidents || [];
+    if (!list.length) return;
+    document.getElementById("inc-h").style.display = "";
+    document.getElementById("inc-table").style.display = "";
+    var tb = document.getElementById("incs");
+    tb.textContent = "";
+    list.forEach(function (ref) {
+      var tr = document.createElement("tr");
+      tr.innerHTML =
+        "<td>" + esc(ref.run) + "</td>" +
+        '<td><span class="inc" title="' + esc(ruleTip(ref.trigger)) + '">' + esc(ref.trigger) + "</span></td>" +
+        "<td>" + ref.first_epoch + "&ndash;" + ref.last_epoch + "</td>" +
+        "<td>" + ref.pre_epochs + "</td>" +
+        "<td>" + ref.events + "</td>" +
+        "<td>" + ref.incidents + (ref.forced ? " (forced)" : "") + "</td>" +
+        "<td>view &rsaquo;</td>";
+      tr.onclick = function () { openDrill(ref); };
+      tb.appendChild(tr);
+    });
+  }).catch(function () {});
+}
+
+function openDrill(ref) {
+  fetch(ref.path).then(function (r) { return r.json(); }).then(function (b) {
+    var d = document.getElementById("drill");
+    d.style.display = "";
+    var h = '<span class="close" onclick="document.getElementById(\'drill\').style.display=\'none\'">&times; close</span>';
+    h += "<h3>" + esc(b.trigger) + " &mdash; " + esc(ref.run) + "</h3>";
+    h += '<div class="meta">bundle ' + ref.id + " &middot; epochs " + b.first_epoch + "&ndash;" + b.last_epoch +
+      " &middot; cycles " + b.first_cycle + "&ndash;" + b.last_cycle +
+      " &middot; " + b.pre_epochs + " pre-trigger epoch(s)" +
+      " &middot; fingerprint " + esc(b.fingerprint) +
+      ' &middot; <a href="' + esc(ref.path) + '">raw JSON</a></div>';
+    (b.rules || []).forEach(function (tr) {
+      h += '<div class="rule" title="' + esc(ruleTip(tr.kind)) + '"><b>' + esc(tr.kind) + "</b> open " +
+        tr.open_epochs + " epoch(s), peak severity " + fmt(tr.peak_severity, 2) + "</div>";
+    });
+    var series = [
+      ["llc_misses", function (s) { return s.llc_misses; }],
+      ["access_rate", function (s) { return s.access_rate; }],
+      ["swaps_in", function (s) { return s.swaps_in; }],
+      ["locks", function (s) { return s.locks; }],
+      ["bypassed", function (s) { return s.bypassed; }],
+      ["peak_queue_nm", function (s) { return s.peak_queue_nm; }],
+      ["peak_queue_fm", function (s) { return s.peak_queue_fm; }]
+    ];
+    series.forEach(function (sp, i) {
+      h += '<div class="sline"><span class="sname">' + sp[0] + "</span>" +
+        '<canvas class="spark" id="d-sp-' + i + '" width="360" height="26"></canvas> ' +
+        '<span class="sv" id="d-sv-' + i + '"></span></div>';
+    });
+    if ((b.offenders || []).length) {
+      h += '<div class="meta" style="margin-top:8px">top offender blocks: ' +
+        b.offenders.map(function (o) { return o.block + " (" + o.demands + " demands)"; }).join(", ") + "</div>";
+    }
+    d.innerHTML = h;
+    series.forEach(function (sp, i) {
+      var pts = (b.epochs || []).map(function (e) { return sp[1](e.sample) || 0; });
+      var cv = document.getElementById("d-sp-" + i);
+      drillSpark(cv, pts, sp[0] === "access_rate" ? cssVar("--s-rate") : cssVar("--s-queue"), sp[0]);
+      document.getElementById("d-sv-" + i).textContent = fmt(lastOf(pts), sp[0] === "access_rate" ? 3 : 0);
+    });
+    d.scrollIntoView({ behavior: "smooth", block: "nearest" });
+  }).catch(function () {});
+}
+
+// drillSpark is spark() at drill-panel width (360px) — the evidence window
+// is short, so wider pixels per epoch read better.
+function drillSpark(cv, pts, color, name) {
+  if (!cv) return;
+  var dpr = window.devicePixelRatio || 1;
+  cv.width = 360 * dpr; cv.height = 26 * dpr; cv.style.width = "360px"; cv.style.height = "26px";
+  var ctx = cv.getContext("2d");
+  ctx.setTransform(dpr, 0, 0, dpr, 0, 0);
+  ctx.clearRect(0, 0, 360, 26);
+  if (pts.length < 2) return;
+  var min = Math.min.apply(null, pts), max = Math.max.apply(null, pts);
+  if (max - min < 1e-12) { min -= 0.5; max += 0.5; }
+  ctx.strokeStyle = color; ctx.lineWidth = 2; ctx.lineJoin = "round"; ctx.beginPath();
+  for (var i = 0; i < pts.length; i++) {
+    var x = 1 + (358 * i) / (pts.length - 1);
+    var y = 23 - (20 * (pts[i] - min)) / (max - min);
+    if (i === 0) ctx.moveTo(x, y); else ctx.lineTo(x, y);
+  }
+  ctx.stroke();
+  cv.title = name + ": last " + fmt(lastOf(pts), 3) + "  min " + fmt(min, 3) + "  max " + fmt(max, 3);
+}
+
 function fetchRuns() {
   fetch("/api/runs").then(function (r) { return r.json(); }).then(function (d) {
     seed(d.runs);
@@ -250,7 +380,7 @@ function connect() {
     seed(JSON.parse(ev.data).runs);
   });
   es.addEventListener("run_start", function () { fetchRuns(); });
-  es.addEventListener("run_done", function () { fetchRuns(); });
+  es.addEventListener("run_done", function () { fetchRuns(); fetchIncidents(); });
   es.addEventListener("epoch", function (ev) {
     var m = JSON.parse(ev.data), e = ent(m.run), ep = m.epoch;
     e.st.pct = ep.pct; e.st.mcyc_per_sec = ep.mcyc_per_sec;
@@ -267,6 +397,7 @@ function connect() {
   es.addEventListener("incident_close", function (ev) {
     var m = JSON.parse(ev.data);
     ent(m.run).inc.delete(m.incident.kind); dirty = true;
+    fetchIncidents();
   });
   es.onerror = function () {
     if (!sseUp) { es.close(); poll(); }
@@ -279,10 +410,11 @@ function poll() {
   polling = true;
   document.getElementById("conn").textContent = "polling /api/runs every 2s (no SSE)";
   fetchRuns();
-  setInterval(fetchRuns, 2000);
+  setInterval(function () { fetchRuns(); fetchIncidents(); }, 2000);
 }
 connect();
 fetchRuns();
+fetchIncidents();
 </script>
 </body>
 </html>

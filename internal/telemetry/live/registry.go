@@ -1,10 +1,12 @@
 package live
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"silcfm/internal/flightrec"
 	"silcfm/internal/health"
 	"silcfm/internal/mem"
 	"silcfm/internal/stats"
@@ -55,6 +57,108 @@ type Registry struct {
 	seq     uint64 // monotone event sequence, stamped under mu
 	dropped uint64 // drops accumulated from departed subscribers
 	closed  bool
+
+	// bundles is the hub's postmortem store: finalized flight-recorder
+	// bundles in arrival order, bounded by maxStoredBundles (oldest drop
+	// first). Bundles are immutable, so entries share the pointer the
+	// recorder emitted.
+	bundles        []bundleEntry
+	bundleSeq      int
+	bundlesDropped uint64
+}
+
+// maxStoredBundles bounds the hub-wide postmortem store.
+const maxStoredBundles = 256
+
+// bundleEntry pairs a stored bundle with the hub run id it arrived under
+// and its registry-assigned stable id.
+type bundleEntry struct {
+	id  int
+	run string
+	b   *flightrec.Bundle
+}
+
+// IncidentRef is one row of the /api/incidents listing: a bundle summary
+// plus the path serving the full evidence.
+type IncidentRef struct {
+	// ID is the registry-assigned stable bundle id (monotone per hub).
+	ID int `json:"id"`
+	// Run is the hub run id the bundle arrived under; Source is the label
+	// the recorder itself stamped ("<scheme>/<workload>").
+	Run        string `json:"run"`
+	Source     string `json:"source,omitempty"`
+	Trigger    string `json:"trigger"`
+	FirstEpoch uint64 `json:"first_epoch"`
+	LastEpoch  uint64 `json:"last_epoch"`
+	PreEpochs  int    `json:"pre_epochs"`
+	Epochs     int    `json:"epochs"`
+	Events     int    `json:"events"`
+	Incidents  int    `json:"incidents"`
+	Forced     bool   `json:"forced,omitempty"`
+	// Path serves the full bundle JSON.
+	Path string `json:"path"`
+}
+
+// AddBundle stores one finalized postmortem bundle under hub run id run.
+// Called from the simulation goroutine via flightrec.Config.OnBundle; the
+// bundle must be immutable (flight-recorder bundles are). Nil-safe on both
+// receiver and bundle.
+func (g *Registry) AddBundle(run string, b *flightrec.Bundle) {
+	if g == nil || b == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.bundles = append(g.bundles, bundleEntry{id: g.bundleSeq, run: run, b: b})
+	g.bundleSeq++
+	if len(g.bundles) > maxStoredBundles {
+		over := len(g.bundles) - maxStoredBundles
+		g.bundles = append(g.bundles[:0:0], g.bundles[over:]...)
+		g.bundlesDropped += uint64(over)
+	}
+}
+
+// Incidents lists the stored bundles in arrival order.
+func (g *Registry) Incidents() []IncidentRef {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]IncidentRef, 0, len(g.bundles))
+	for _, e := range g.bundles {
+		out = append(out, IncidentRef{
+			ID:         e.id,
+			Run:        e.run,
+			Source:     e.b.Run,
+			Trigger:    e.b.Trigger,
+			FirstEpoch: e.b.FirstEpoch,
+			LastEpoch:  e.b.LastEpoch,
+			PreEpochs:  e.b.PreEpochs,
+			Epochs:     len(e.b.Epochs),
+			Events:     len(e.b.Events),
+			Incidents:  len(e.b.Incidents),
+			Forced:     e.b.Forced,
+			Path:       fmt.Sprintf("/api/incidents/%d", e.id),
+		})
+	}
+	return out
+}
+
+// Bundle returns the stored bundle with the given registry id, or nil when
+// it never existed or has been dropped by the store bound.
+func (g *Registry) Bundle(id int) *flightrec.Bundle {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, e := range g.bundles {
+		if e.id == id {
+			return e.b
+		}
+	}
+	return nil
 }
 
 // NewRegistry returns an empty run registry.

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"silcfm/internal/flightrec"
 	"silcfm/internal/health"
 	"silcfm/internal/telemetry"
 )
@@ -45,6 +46,8 @@ func NewWith(addr string, reg *Registry) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleDashboard)
 	mux.HandleFunc("/api/runs", s.handleRuns)
+	mux.HandleFunc("/api/incidents", s.handleIncidents)
+	mux.HandleFunc("/api/incidents/", s.handleIncident)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -102,6 +105,43 @@ func (s *Server) Done(id string, final []health.Incident) {
 		return
 	}
 	s.reg.Done(id, final)
+}
+
+// AddBundle stores one finalized postmortem bundle under hub run id run
+// (the flightrec.Config.OnBundle attachment point; see Registry.AddBundle).
+func (s *Server) AddBundle(run string, b *flightrec.Bundle) {
+	if s == nil {
+		return
+	}
+	s.reg.AddBundle(run, b)
+}
+
+func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	incidents := s.reg.Incidents()
+	if incidents == nil {
+		incidents = []IncidentRef{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc, _ := json.MarshalIndent(struct {
+		Incidents []IncidentRef `json:"incidents"`
+	}{incidents}, "", "  ")
+	w.Write(append(enc, '\n'))
+}
+
+func (s *Server) handleIncident(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/api/incidents/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		http.Error(w, "bad incident id", http.StatusBadRequest)
+		return
+	}
+	b := s.reg.Bundle(id)
+	if b == nil {
+		http.Error(w, "no such incident bundle", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	b.Encode(w)
 }
 
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
@@ -250,10 +290,14 @@ type HealthzRun struct {
 type Healthz struct {
 	Status string       `json:"status"` // "ok" or "incident"
 	Runs   []HealthzRun `json:"runs"`
+	// Rules is the detector's rule metadata at default thresholds: what
+	// each incident kind means, when it fires, and which counters to read
+	// first (the dashboard's tooltip source).
+	Rules []health.RuleInfo `json:"rules"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	body := Healthz{Status: "ok"}
+	body := Healthz{Status: "ok", Rules: health.Rules()}
 	s.reg.mu.Lock()
 	for _, rs := range s.reg.sortedLocked() {
 		hr := HealthzRun{

@@ -65,6 +65,10 @@ type EpochState struct {
 	Sample *Sample
 	Mem    *stats.Memory
 	Lat    *stats.PathLatencies
+	// Attr points at the live cumulative span attribution (valid only
+	// during the callback, like Mem/Lat); consumers that want per-epoch
+	// deltas difference it themselves (the flight recorder does).
+	Attr *stats.Attribution
 	// Done/Total are the instruction-progress probe's values (zero when
 	// no probe is installed; see T.SetProgress).
 	Done, Total uint64
@@ -193,7 +197,7 @@ func (t *T) emit(sm *Sample) {
 	if sm == nil || t.cfg.OnEpoch == nil {
 		return
 	}
-	st := EpochState{Sample: sm, Mem: t.sys.Stats, Lat: t.sys.Lat}
+	st := EpochState{Sample: sm, Mem: t.sys.Stats, Lat: t.sys.Lat, Attr: t.sys.Attr}
 	if t.progress != nil {
 		st.Done, st.Total = t.progress()
 	}

@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -19,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"silcfm/internal/flightrec"
 	"silcfm/internal/telemetry/live"
 )
 
@@ -120,6 +122,53 @@ func check(client *http.Client, base string) error {
 	}
 	if len(hz.Runs) == 0 {
 		return fmt.Errorf("/healthz: no runs registered")
+	}
+	if len(hz.Rules) == 0 {
+		return fmt.Errorf("/healthz: no rule metadata")
+	}
+	for _, rule := range hz.Rules {
+		if rule.Kind == "" || rule.Description == "" || rule.Threshold == "" || len(rule.FirstLook) == 0 {
+			return fmt.Errorf("/healthz: rule %q missing metadata", rule.Kind)
+		}
+	}
+
+	// /api/incidents: well-formed bundle listing; every listed bundle's
+	// drill-down path must serve a decodable postmortem bundle consistent
+	// with its summary row. An empty list is valid (healthy fleet).
+	body, err = fetch(client, base+"/api/incidents", http.StatusOK)
+	if err != nil {
+		return err
+	}
+	var incs struct {
+		Incidents []live.IncidentRef `json:"incidents"`
+	}
+	if err := json.Unmarshal(body, &incs); err != nil {
+		return fmt.Errorf("/api/incidents: %w", err)
+	}
+	for _, ref := range incs.Incidents {
+		if ref.Trigger == "" || ref.Path == "" {
+			return fmt.Errorf("/api/incidents: bundle %d missing trigger or path", ref.ID)
+		}
+		bb, err := fetch(client, base+ref.Path, http.StatusOK)
+		if err != nil {
+			return err
+		}
+		b, err := flightrec.Decode(bytes.NewReader(bb))
+		if err != nil {
+			return fmt.Errorf("%s: %w", ref.Path, err)
+		}
+		if b.Trigger != ref.Trigger || len(b.Epochs) != ref.Epochs {
+			return fmt.Errorf("%s: bundle disagrees with its /api/incidents row", ref.Path)
+		}
+		if b.Fingerprint == "" {
+			return fmt.Errorf("%s: bundle has no config fingerprint", ref.Path)
+		}
+	}
+	// Unknown bundle ids 404.
+	if _, status, err := fetchAny(client, base+"/api/incidents/999999"); err != nil {
+		return err
+	} else if status != http.StatusNotFound {
+		return fmt.Errorf("/api/incidents/999999: status %d, want 404", status)
 	}
 
 	// /progress: well-formed JSON with the same runs.

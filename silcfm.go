@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"silcfm/internal/config"
+	"silcfm/internal/flightrec"
 	"silcfm/internal/harness"
 	"silcfm/internal/health"
 	"silcfm/internal/manifest"
@@ -179,6 +180,17 @@ type Options struct {
 	// the manifest carry its incidents regardless — this only selects the
 	// file output.
 	HealthOut string
+
+	// PostmortemOut names a directory receiving one JSON file per
+	// postmortem bundle the flight recorder emitted (bundle-NNN.json,
+	// created only when an incident opened). The recorder itself is always
+	// on — see DisableFlightrec — this only selects the file output.
+	PostmortemOut string
+	// DisableFlightrec turns the incident flight recorder off entirely
+	// (internal/flightrec). The recorder is inert — counters and manifests
+	// are byte-identical either way — so the switch exists for proving
+	// exactly that, and for shaving its fixed ring-buffer footprint.
+	DisableFlightrec bool
 
 	// Live attaches this run to a live observability server (see Serve):
 	// every telemetry epoch publishes a snapshot, and the run is marked
@@ -415,6 +427,9 @@ func runResult(o Options) (*harness.Result, error) {
 		return nil, err
 	}
 	spec.Telemetry = tcfg
+	if o.DisableFlightrec {
+		spec.Flightrec = &flightrec.Config{Disabled: true}
+	}
 	var res *harness.Result
 	if o.Live != nil {
 		id := o.RunID
@@ -422,6 +437,15 @@ func runResult(o Options) (*harness.Result, error) {
 			id = string(m.Scheme) + "/" + wl
 		}
 		spec.Publish = o.Live.Hook(id)
+		if !o.DisableFlightrec {
+			// Stream finalized bundles into the hub's incident store as they
+			// are emitted; bundles are immutable, so sharing the pointer
+			// across goroutines is race-free.
+			hub := o.Live
+			spec.Flightrec = &flightrec.Config{
+				OnBundle: func(b *flightrec.Bundle) { hub.AddBundle(id, b) },
+			}
+		}
 		defer func() {
 			var final []health.Incident
 			if res != nil {
@@ -440,6 +464,11 @@ func runResult(o Options) (*harness.Result, error) {
 	if o.HealthOut != "" {
 		if herr := writeHealthOut(o.HealthOut, res.Health); herr != nil {
 			return nil, herr
+		}
+	}
+	if o.PostmortemOut != "" {
+		if _, perr := flightrec.WriteDir(o.PostmortemOut, res.Bundles); perr != nil {
+			return nil, fmt.Errorf("silcfm: postmortem output: %w", perr)
 		}
 	}
 	if res.AuditErr != nil {
