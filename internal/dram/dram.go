@@ -77,6 +77,31 @@ func (l *LatencySummary) Mean() float64 {
 	return float64(l.Sum) / float64(l.N)
 }
 
+// BankCounters is the cumulative microarchitectural ledger of one bank.
+// RowHits/RowMisses/RowConflicts split the aggregate Stats.RowHits/RowMisses
+// pair by bank and by outcome (RowMisses here counts closed-bank misses
+// only; the aggregate folds conflicts in). BusyCycles sums the cycles the
+// bank spent executing commands (precharge/activate/column/burst/recovery);
+// RefreshCloses counts rows force-closed by periodic refresh.
+type BankCounters struct {
+	RowHits       uint64
+	RowMisses     uint64 // closed-bank activates
+	RowConflicts  uint64 // precharge-then-activate (different row open)
+	RefreshCloses uint64
+	BusyCycles    uint64
+}
+
+// Accesses returns the bank's total row operations.
+func (b *BankCounters) Accesses() uint64 { return b.RowHits + b.RowMisses + b.RowConflicts }
+
+// ChannelCounters is the cumulative per-channel ledger: data-bus occupancy
+// and the cycles requests spent queued (arrival to issue) per queue class.
+type ChannelCounters struct {
+	BusBusyCycles  uint64
+	ReadQueueWait  uint64 // cycles demand reads waited in the read queue
+	WriteQueueWait uint64 // cycles writes/background reads waited in the write queue
+}
+
 type op struct {
 	req     Request
 	bank    int // global bank index within channel (rank*banks + bank)
@@ -208,6 +233,15 @@ type Device struct {
 	queued     int
 	peakQueued int
 
+	// Introspection ledgers, flat-indexed [ch*banksPerChan+bank] and [ch].
+	// Allocated once at New and updated in place on the issue path, so the
+	// layer is allocation-free in steady state.
+	bankCtr []BankCounters
+	chanCtr []ChannelCounters
+	// bankQueued mirrors, per bank, the ops submitted but not yet issued —
+	// the O(1) backing for BankLoad.
+	bankQueued []int32
+
 	// geometry, precomputed
 	nChan        uint64
 	banksPerChan uint64
@@ -248,11 +282,75 @@ func New(cfg config.DRAMConfig, eng *sim.Engine) *Device {
 			d.chans[i].banks[b].openRow = -1
 		}
 	}
+	d.bankCtr = make([]BankCounters, cfg.Channels*int(d.banksPerChan))
+	d.chanCtr = make([]ChannelCounters, cfg.Channels)
+	d.bankQueued = make([]int32, cfg.Channels*int(d.banksPerChan))
 	return d
 }
 
 // Stats returns the accumulated counters.
 func (d *Device) Stats() *Stats { return &d.stats }
+
+// Geometry reports the device's channel/bank shape, the index space of
+// BankCounters and ChannelCounters.
+func (d *Device) Geometry() (channels, banksPerChannel int) {
+	return int(d.nChan), int(d.banksPerChan)
+}
+
+// BankCounters returns the live per-bank ledger, flat-indexed
+// [channel*banksPerChannel + bank]. Read-only for callers; the device keeps
+// mutating it.
+func (d *Device) BankCounters() []BankCounters { return d.bankCtr }
+
+// ChannelCounters returns the live per-channel ledger. Read-only for
+// callers.
+func (d *Device) ChannelCounters() []ChannelCounters { return d.chanCtr }
+
+// TotalBankCounters sums the per-bank ledger into one BankCounters.
+func (d *Device) TotalBankCounters() BankCounters {
+	var t BankCounters
+	for i := range d.bankCtr {
+		b := &d.bankCtr[i]
+		t.RowHits += b.RowHits
+		t.RowMisses += b.RowMisses
+		t.RowConflicts += b.RowConflicts
+		t.RefreshCloses += b.RefreshCloses
+		t.BusyCycles += b.BusyCycles
+	}
+	return t
+}
+
+// TotalChannelCounters sums the per-channel ledger into one
+// ChannelCounters.
+func (d *Device) TotalChannelCounters() ChannelCounters {
+	var t ChannelCounters
+	for i := range d.chanCtr {
+		c := &d.chanCtr[i]
+		t.BusBusyCycles += c.BusBusyCycles
+		t.ReadQueueWait += c.ReadQueueWait
+		t.WriteQueueWait += c.WriteQueueWait
+	}
+	return t
+}
+
+// RowOpen reports whether the row holding addr is currently open in its
+// bank's row buffer — the locality query a row-buffer-aware placement
+// scheme asks before steering an access. O(1); allocation-free. Refreshes
+// are applied lazily at issue time, so a row reported open here may still
+// be closed by a pending refresh before the next access issues.
+func (d *Device) RowOpen(addr uint64) bool {
+	ch, bank, row := d.mapAddr(addr)
+	b := &d.chans[ch].banks[bank]
+	return b.openRow >= 0 && uint64(b.openRow) == row
+}
+
+// BankLoad reports how many requests are queued (submitted, not yet
+// issued) for the bank holding addr — the contention signal for
+// bank-occupancy-aware steering. O(1); allocation-free.
+func (d *Device) BankLoad(addr uint64) int {
+	ch, bank, _ := d.mapAddr(addr)
+	return int(d.bankQueued[ch*int(d.banksPerChan)+bank])
+}
 
 // mapAddr decomposes a device address: 64B blocks interleave across
 // channels, then banks; consecutive same-bank blocks share a row until the
@@ -285,6 +383,7 @@ func (d *Device) Submit(r Request) {
 	s.bank = bank
 	s.row = row
 	s.arrival = d.eng.Now()
+	d.bankQueued[ch*int(d.banksPerChan)+bank]++
 	d.queued++
 	if d.queued > d.peakQueued {
 		d.peakQueued = d.queued
@@ -351,15 +450,18 @@ func (d *Device) selectOp(c *channel) (*opQueue, int) {
 // refreshCatchup applies any periodic refreshes due since the channel was
 // last serviced: every tREFI all banks close their rows and become
 // unavailable for tRFC. Refreshes are applied lazily at issue time so an
-// idle device schedules no events.
-func (d *Device) refreshCatchup(c *channel, now sim.Cycle) {
+// idle device schedules no events. Activate energy is charged only for
+// banks that actually had a row open to close — a precharged bank's
+// refresh is covered by the static background power model, not the
+// per-activate dynamic charge.
+func (d *Device) refreshCatchup(ch int, c *channel, now sim.Cycle) {
 	if d.tREFI == 0 {
 		return
 	}
+	base := ch * int(d.banksPerChan)
 	for c.lastRefresh+d.tREFI <= now {
 		c.lastRefresh += d.tREFI
 		d.stats.Refreshes++
-		d.stats.DynamicEnergyPJ += d.Cfg.ActivateEnergyPJ * float64(len(c.banks))
 		for i := range c.banks {
 			b := &c.banks[i]
 			start := c.lastRefresh
@@ -367,7 +469,11 @@ func (d *Device) refreshCatchup(c *channel, now sim.Cycle) {
 				start = b.readyAt
 			}
 			b.readyAt = start + d.tRFC
-			b.openRow = -1
+			if b.openRow >= 0 {
+				d.stats.DynamicEnergyPJ += d.Cfg.ActivateEnergyPJ
+				d.bankCtr[base+i].RefreshCloses++
+				b.openRow = -1
+			}
 		}
 	}
 }
@@ -377,8 +483,10 @@ func (d *Device) refreshCatchup(c *channel, now sim.Cycle) {
 func (d *Device) issue(ch int, c *channel, q *opQueue, pick int) {
 	o := q.at(pick)
 	b := &c.banks[o.bank]
+	bc := &d.bankCtr[ch*int(d.banksPerChan)+o.bank]
+	cc := &d.chanCtr[ch]
 	now := d.eng.Now()
-	d.refreshCatchup(c, now)
+	d.refreshCatchup(ch, c, now)
 	start := b.readyAt
 	if start < now {
 		start = now
@@ -391,12 +499,14 @@ func (d *Device) issue(ch int, c *channel, q *opQueue, pick int) {
 	case b.openRow >= 0 && uint64(b.openRow) == o.row:
 		// Row hit: column command only.
 		d.stats.RowHits++
+		bc.RowHits++
 		colAt = start
 	case b.openRow < 0:
 		// Closed: activate then column.
 		d.stats.RowMisses++
 		d.stats.Activations++
 		d.stats.DynamicEnergyPJ += d.Cfg.ActivateEnergyPJ
+		bc.RowMisses++
 		rowPenalty = d.tRCD
 		colAt = start + d.tRCD
 		b.actAt = start
@@ -406,6 +516,7 @@ func (d *Device) issue(ch int, c *channel, q *opQueue, pick int) {
 		d.stats.RowMisses++
 		d.stats.Activations++
 		d.stats.DynamicEnergyPJ += d.Cfg.ActivateEnergyPJ
+		bc.RowConflicts++
 		rowPenalty = d.tRP + d.tRCD
 		preAt := start
 		if min := b.actAt + d.tRAS; preAt < min {
@@ -444,6 +555,17 @@ func (d *Device) issue(ch int, c *channel, q *opQueue, pick int) {
 	}
 	c.busFreeAt = dataAt + burst
 	d.stats.BusBusyCycles += burst
+	cc.BusBusyCycles += burst
+	// Bank occupancy: commands on one bank serialize through readyAt, so
+	// [start, readyAt) intervals never overlap and their lengths sum to the
+	// bank's busy time.
+	bc.BusyCycles += uint64(b.readyAt - start)
+	// Queue residency, attributed to the queue the op waited in.
+	if q == &c.readQ {
+		cc.ReadQueueWait += uint64(now - o.arrival)
+	} else {
+		cc.WriteQueueWait += uint64(now - o.arrival)
+	}
 
 	done := dataAt + burst
 	bits := float64((o.req.Bytes + o.req.MetaBytes) * 8)
@@ -480,7 +602,9 @@ func (d *Device) issue(ch int, c *channel, q *opQueue, pick int) {
 	comp.isRead = !o.req.Write
 	comp.cb = o.req.Done
 	comp.tr = o.req.Trace
+	bank := o.bank
 	q.drop(pick) // o is dead past this point
+	d.bankQueued[ch*int(d.banksPerChan)+bank]--
 	d.queued--
 	d.eng.At(done, comp.fireFn)
 }

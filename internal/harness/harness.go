@@ -362,6 +362,19 @@ func Run(spec Spec) (*Result, error) {
 	res.Mem = *sys.Stats
 	res.Mem.RowHits = [2]uint64{sys.NM.Stats().RowHits, sys.FM.Stats().RowHits}
 	res.Mem.RowMisses = [2]uint64{sys.NM.Stats().RowMisses, sys.FM.Stats().RowMisses}
+	// DRAM introspection totals: reduce each device's per-bank/per-channel
+	// ledgers to the device-level counters stats.Memory (and the manifest)
+	// carry.
+	for lv, dev := range [2]*dram.Device{sys.NM, sys.FM} {
+		bt := dev.TotalBankCounters()
+		ct := dev.TotalChannelCounters()
+		res.Mem.RowConflicts[lv] = bt.RowConflicts
+		res.Mem.RefreshCloses[lv] = bt.RefreshCloses
+		res.Mem.BankBusyCycles[lv] = bt.BusyCycles
+		res.Mem.BusBusyCycles[lv] = ct.BusBusyCycles
+		res.Mem.ReadQueueWaitCycles[lv] = ct.ReadQueueWait
+		res.Mem.WriteQueueWaitCycles[lv] = ct.WriteQueueWait
+	}
 	for _, c := range cx.Cores {
 		res.Cores = append(res.Cores, c.Stats)
 	}

@@ -30,12 +30,13 @@ const (
 	KindLockChurn         = "lock-churn"
 	KindQueueSaturation   = "queue-saturation"
 	KindPredictorCollapse = "predictor-collapse"
+	KindRowThrash         = "row-thrash"
 )
 
 // kinds fixes the evaluation (and reporting) order of the detectors.
 var kinds = [...]string{
 	KindSwapThrash, KindBypassOscillation, KindLockChurn,
-	KindQueueSaturation, KindPredictorCollapse,
+	KindQueueSaturation, KindPredictorCollapse, KindRowThrash,
 }
 
 const numKinds = len(kinds)
@@ -92,6 +93,17 @@ type Config struct {
 	// predictions in the window (default 256).
 	PredictorFloor      float64
 	PredictorMinSamples uint64
+
+	// RowThrashConflictRatio: row-thrash fires when the window's
+	// row-buffer conflicts (either device) exceed this fraction of its row
+	// operations (default 0.5 — most activates tear down a still-hot row)
+	// AND the peak per-epoch bank imbalance reached RowThrashImbalance
+	// (default 4.0 — the conflicts concentrate on few banks rather than
+	// being uniform pressure). RowThrashMinOps is the activity floor per
+	// window (default 512 row operations).
+	RowThrashConflictRatio float64
+	RowThrashImbalance     float64
+	RowThrashMinOps        uint64
 }
 
 // withDefaults resolves zero fields to the documented defaults.
@@ -132,6 +144,15 @@ func (c Config) withDefaults() Config {
 	if c.PredictorMinSamples == 0 {
 		c.PredictorMinSamples = 256
 	}
+	if c.RowThrashConflictRatio <= 0 {
+		c.RowThrashConflictRatio = 0.5
+	}
+	if c.RowThrashImbalance <= 0 {
+		c.RowThrashImbalance = 4.0
+	}
+	if c.RowThrashMinOps == 0 {
+		c.RowThrashMinOps = 512
+	}
 	return c
 }
 
@@ -149,6 +170,11 @@ type Evidence struct {
 	PeakQueueFM     int    `json:"peak_queue_fm,omitempty"`
 	PredictorHits   uint64 `json:"predictor_hits,omitempty"`
 	PredictorMisses uint64 `json:"predictor_misses,omitempty"`
+	RowConflicts    uint64 `json:"row_conflicts,omitempty"`
+	RowOps          uint64 `json:"row_ops,omitempty"`
+	// BankImbalance is the worst per-epoch max-over-mean bank skew seen
+	// while the incident fired (a peak, like the queue fields).
+	BankImbalance float64 `json:"bank_imbalance,omitempty"`
 }
 
 // Incident is one detected pathology: a contiguous stretch of epochs
@@ -194,6 +220,9 @@ type obs struct {
 	peakFM      int
 	predHits    uint64
 	predMisses  uint64
+	rowOps      uint64
+	rowConf     uint64
+	imbalance   float64 // max of the two devices' per-epoch bank imbalance
 }
 
 // tracker is one kind's open-incident state machine.
@@ -245,6 +274,12 @@ func (d *Detector) Observe(s *telemetry.Sample) {
 		peakFM:      s.PeakQueueFM,
 		predHits:    s.PredictorHits,
 		predMisses:  s.PredictorMisses,
+		rowOps:      s.RowHitsNM + s.RowMissesNM + s.RowHitsFM + s.RowMissesFM,
+		rowConf:     s.RowConflictsNM + s.RowConflictsFM,
+		imbalance:   s.BankImbalanceNM,
+	}
+	if s.BankImbalanceFM > o.imbalance {
+		o.imbalance = s.BankImbalanceFM
 	}
 	// Idle epochs report AccessRate 0; only epochs that actually serviced
 	// misses move the crossing detector, so bursts separated by silence do
@@ -295,6 +330,11 @@ func (d *Detector) window() obs {
 		}
 		w.predHits += o.predHits
 		w.predMisses += o.predMisses
+		w.rowOps += o.rowOps
+		w.rowConf += o.rowConf
+		if o.imbalance > w.imbalance {
+			w.imbalance = o.imbalance
+		}
 	}
 	return w
 }
@@ -401,6 +441,26 @@ func (d *Detector) evaluate(o *obs) {
 			PredictorHits: o.predHits, PredictorMisses: o.predMisses,
 		})
 	}
+	// row-thrash: row-buffer conflicts dominate the window's row activity
+	// while the pressure concentrates on few banks — the access stream keeps
+	// tearing down rows other accesses still want (the pathology a
+	// row-locality-aware placement would steer around).
+	{
+		rate := 0.0
+		if w.rowOps > 0 {
+			rate = float64(w.rowConf) / float64(w.rowOps)
+		}
+		fire := w.rowOps >= c.RowThrashMinOps &&
+			rate > c.RowThrashConflictRatio &&
+			w.imbalance >= c.RowThrashImbalance
+		sev := 0.0
+		if fire {
+			sev = rate / c.RowThrashConflictRatio
+		}
+		d.step(KindRowThrash, fire, sev, o, Evidence{
+			RowConflicts: o.rowConf, RowOps: o.rowOps, BankImbalance: o.imbalance,
+		})
+	}
 }
 
 // step advances one kind's state machine: open or extend on fire, close
@@ -446,6 +506,11 @@ func (d *Detector) step(kind string, fire bool, sev float64, o *obs, ev Evidence
 	}
 	in.Evidence.PredictorHits += ev.PredictorHits
 	in.Evidence.PredictorMisses += ev.PredictorMisses
+	in.Evidence.RowConflicts += ev.RowConflicts
+	in.Evidence.RowOps += ev.RowOps
+	if ev.BankImbalance > in.Evidence.BankImbalance {
+		in.Evidence.BankImbalance = ev.BankImbalance
+	}
 }
 
 func kindIndex(kind string) int {

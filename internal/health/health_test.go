@@ -205,6 +205,81 @@ func TestPredictorCollapse(t *testing.T) {
 	}
 }
 
+func TestRowThrashFiresOnConflictStream(t *testing.T) {
+	det := health.NewDetector(health.Config{WindowEpochs: 4})
+	// A synthetic conflict stream: nearly every FM row operation is a
+	// conflict and the pressure sits on one bank (imbalance far above the
+	// threshold). Epochs 6+ return to a healthy streaming mix.
+	for e := uint64(0); e < 16; e++ {
+		thrash := e < 6
+		det.Observe(feed(e, func(s *telemetry.Sample) {
+			s.LLCMisses = 300
+			if thrash {
+				s.RowHitsFM = 20
+				s.RowMissesFM = 280
+				s.RowConflictsFM = 260
+				s.BankImbalanceFM = 24.0 // one hot bank out of 32
+			} else {
+				s.RowHitsFM = 280
+				s.RowMissesFM = 20
+				s.BankImbalanceFM = 1.2
+			}
+		}))
+	}
+	incidents := det.Finish()
+	if len(incidents) != 1 || incidents[0].Kind != health.KindRowThrash {
+		t.Fatalf("want one row-thrash incident, got %+v", incidents)
+	}
+	in := incidents[0]
+	if in.PeakSeverity <= 1 {
+		t.Errorf("peak severity %.2f, want > 1", in.PeakSeverity)
+	}
+	ev := in.Evidence
+	if ev.RowConflicts == 0 || ev.RowOps == 0 {
+		t.Errorf("evidence not populated: %+v", ev)
+	}
+	if ev.BankImbalance != 24.0 {
+		t.Errorf("evidence imbalance = %v, want the peak 24.0", ev.BankImbalance)
+	}
+	// The incident must have closed after the window drained (hysteresis),
+	// not extended to the run's end.
+	if in.LastEpoch >= 15 {
+		t.Errorf("incident never closed: last epoch %d", in.LastEpoch)
+	}
+}
+
+func TestRowThrashNeedsImbalance(t *testing.T) {
+	// The same conflict rate with uniform bank pressure is ordinary
+	// bandwidth saturation, not row thrash: it must stay quiet.
+	det := health.NewDetector(health.Config{WindowEpochs: 4})
+	for e := uint64(0); e < 8; e++ {
+		det.Observe(feed(e, func(s *telemetry.Sample) {
+			s.LLCMisses = 300
+			s.RowHitsFM = 20
+			s.RowMissesFM = 280
+			s.RowConflictsFM = 260
+			s.BankImbalanceFM = 1.1 // evenly spread
+		}))
+	}
+	if got := det.Finish(); len(got) != 0 {
+		t.Fatalf("uniform conflicts raised incidents: %+v", got)
+	}
+	// And below the activity floor nothing fires either.
+	det2 := health.NewDetector(health.Config{WindowEpochs: 4})
+	for e := uint64(0); e < 8; e++ {
+		det2.Observe(feed(e, func(s *telemetry.Sample) {
+			s.LLCMisses = 10
+			s.RowHitsFM = 2
+			s.RowMissesFM = 28
+			s.RowConflictsFM = 26
+			s.BankImbalanceFM = 24.0
+		}))
+	}
+	if got := det2.Finish(); len(got) != 0 {
+		t.Fatalf("sub-floor conflicts raised incidents: %+v", got)
+	}
+}
+
 func TestDisabledDetectorIsNil(t *testing.T) {
 	det := health.NewDetector(health.Config{Disabled: true})
 	if det != nil {

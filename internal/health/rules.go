@@ -74,6 +74,16 @@ func (c Config) Rules() []RuleInfo {
 				r.PredictorFloor, r.PredictorMinSamples, r.WindowEpochs),
 			FirstLook: []string{"predictor_hits", "predictor_misses", "attribution mispredict span"},
 		},
+		{
+			Kind: KindRowThrash,
+			Description: "Row-buffer conflicts dominate the DRAM row activity while the " +
+				"pressure concentrates on few banks: the access stream keeps tearing " +
+				"down rows other accesses still want, paying precharge+activate on " +
+				"most operations (what a row-locality-aware placement would avoid).",
+			Threshold: fmt.Sprintf("window row conflicts > %.2f x row ops with peak bank imbalance >= %.1f and >= %d row ops over %d epochs",
+				r.RowThrashConflictRatio, r.RowThrashImbalance, r.RowThrashMinOps, r.WindowEpochs),
+			FirstLook: []string{"row_conflicts_nm", "row_conflicts_fm", "bank_imbalance_nm", "bank_imbalance_fm", "row_hit_rate_fm", "dashboard bank heatmap"},
+		},
 	}
 }
 

@@ -119,6 +119,8 @@ type Sim struct {
 	RowMissesNM      uint64        `json:"row_misses_nm"`
 	RowHitsFM        uint64        `json:"row_hits_fm"`
 	RowMissesFM      uint64        `json:"row_misses_fm"`
+	DramNM           DramSim       `json:"dram_nm"`
+	DramFM           DramSim       `json:"dram_fm"`
 	OSOverheadCycles uint64        `json:"os_overhead_cycles"`
 	Energy           Energy        `json:"energy"`
 	Latency          []PathLatency `json:"latency,omitempty"`
@@ -128,6 +130,19 @@ type Sim struct {
 	// diff sim-exact like every counter above: a thrash incident appearing
 	// or vanishing between two builds is a behavior change.
 	Incidents []health.Incident `json:"incidents,omitempty"`
+}
+
+// DramSim is one device's DRAM introspection ledger reduced to totals
+// (internal/dram's per-bank/per-channel counters). Sim-exact like every
+// other counter: a drift here means the device model's scheduling or
+// refresh behavior changed.
+type DramSim struct {
+	RowConflicts         uint64 `json:"row_conflicts"`
+	RefreshCloses        uint64 `json:"refresh_closes"`
+	BusBusyCycles        uint64 `json:"bus_busy_cycles"`
+	BankBusyCycles       uint64 `json:"bank_busy_cycles"`
+	ReadQueueWaitCycles  uint64 `json:"read_queue_wait_cycles"`
+	WriteQueueWaitCycles uint64 `json:"write_queue_wait_cycles"`
 }
 
 // ClassBytes is one level's byte ledger by traffic class.
@@ -240,6 +255,8 @@ func FromResult(id string, res *harness.Result) Entry {
 			RowMissesNM:      res.Mem.RowMisses[stats.NM],
 			RowHitsFM:        res.Mem.RowHits[stats.FM],
 			RowMissesFM:      res.Mem.RowMisses[stats.FM],
+			DramNM:           dramSim(&res.Mem, stats.NM),
+			DramFM:           dramSim(&res.Mem, stats.FM),
 			OSOverheadCycles: res.Mem.OSOverheadCycles,
 			Energy: Energy{
 				NMDynamicNJ:  res.Energy.NMDynamicNJ,
@@ -288,6 +305,17 @@ func FromResult(id string, res *harness.Result) Entry {
 		}
 	}
 	return e
+}
+
+func dramSim(m *stats.Memory, lv stats.MemLevel) DramSim {
+	return DramSim{
+		RowConflicts:         m.RowConflicts[lv],
+		RefreshCloses:        m.RefreshCloses[lv],
+		BusBusyCycles:        m.BusBusyCycles[lv],
+		BankBusyCycles:       m.BankBusyCycles[lv],
+		ReadQueueWaitCycles:  m.ReadQueueWaitCycles[lv],
+		WriteQueueWaitCycles: m.WriteQueueWaitCycles[lv],
+	}
 }
 
 func classBytes(b [3]uint64) ClassBytes {

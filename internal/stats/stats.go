@@ -63,7 +63,15 @@ type Memory struct {
 	PredictorHits    uint64
 	PredictorMisses  uint64
 	RowHits          [2]uint64
-	RowMisses        [2]uint64
+	RowMisses        [2]uint64 // closed-bank misses + row conflicts
+	// DRAM introspection totals (internal/dram's per-bank/per-channel
+	// ledgers reduced to device level; [NM, FM]).
+	RowConflicts         [2]uint64 // precharge-then-activate row misses
+	RefreshCloses        [2]uint64 // rows force-closed by periodic refresh
+	BusBusyCycles        [2]uint64 // data-bus burst occupancy, summed over channels
+	BankBusyCycles       [2]uint64 // bank command occupancy, summed over banks
+	ReadQueueWaitCycles  [2]uint64 // read-queue residency (arrival to issue)
+	WriteQueueWaitCycles [2]uint64 // write-queue residency (arrival to issue)
 	// ExtraEnergyPJ accounts energy for traffic modeled in aggregate
 	// rather than submitted to a device (HMA's bulk epoch migrations).
 	ExtraEnergyPJ float64
@@ -149,6 +157,18 @@ func (m *Memory) Counters() []Counter {
 		{"row_misses_nm", m.RowMisses[NM]},
 		{"row_hits_fm", m.RowHits[FM]},
 		{"row_misses_fm", m.RowMisses[FM]},
+		{"row_conflicts_nm", m.RowConflicts[NM]},
+		{"row_conflicts_fm", m.RowConflicts[FM]},
+		{"refresh_closes_nm", m.RefreshCloses[NM]},
+		{"refresh_closes_fm", m.RefreshCloses[FM]},
+		{"bus_busy_cycles_nm", m.BusBusyCycles[NM]},
+		{"bus_busy_cycles_fm", m.BusBusyCycles[FM]},
+		{"bank_busy_cycles_nm", m.BankBusyCycles[NM]},
+		{"bank_busy_cycles_fm", m.BankBusyCycles[FM]},
+		{"read_queue_wait_nm", m.ReadQueueWaitCycles[NM]},
+		{"read_queue_wait_fm", m.ReadQueueWaitCycles[FM]},
+		{"write_queue_wait_nm", m.WriteQueueWaitCycles[NM]},
+		{"write_queue_wait_fm", m.WriteQueueWaitCycles[FM]},
 		{"os_overhead_cycles", m.OSOverheadCycles},
 	}
 }

@@ -103,7 +103,7 @@ h2 { font-size: 13px; margin: 20px 0 6px; font-weight: 600; }
 <table>
   <thead><tr>
     <th>run</th><th>progress</th><th>%</th><th>Mcyc/s</th>
-    <th>access rate</th><th>queue depth</th><th>health</th>
+    <th>access rate</th><th>queue depth</th><th>bank heat nm&nbsp;/&nbsp;fm</th><th>health</th>
   </tr></thead>
   <tbody id="tree"></tbody>
 </table>
@@ -129,13 +129,14 @@ var dirty = false, topoDirty = true;
 
 function ent(id) {
   var e = runs.get(id);
-  if (!e) { e = { st: { run: id, state: "running", pct: 0 }, ar: [], qd: [], inc: new Map() }; runs.set(id, e); topoDirty = true; }
+  if (!e) { e = { st: { run: id, state: "running", pct: 0 }, ar: [], qd: [], dram: null, inc: new Map() }; runs.set(id, e); topoDirty = true; }
   return e;
 }
 function seed(list) {
   (list || []).forEach(function (st) {
     var e = ent(st.run);
     e.st = st;
+    if (st.dram) e.dram = st.dram;
     if (st.open_incidents === 0) e.inc.clear();
   });
   topoDirty = true; dirty = true;
@@ -183,7 +184,7 @@ function buildTree(ids) {
       last = grp;
       var tr = document.createElement("tr");
       tr.className = "group";
-      tr.innerHTML = '<td>' + esc(grp) + '</td><td colspan="6" class="agg" id="g-' + cssId(grp) + '"></td>';
+      tr.innerHTML = '<td>' + esc(grp) + '</td><td colspan="7" class="agg" id="g-' + cssId(grp) + '"></td>';
       tb.appendChild(tr);
     }
     var row = document.createElement("tr");
@@ -194,6 +195,7 @@ function buildTree(ids) {
       '<td class="pct">&ndash;</td><td class="mc">&ndash;</td>' +
       '<td><canvas class="spark" data-k="ar" width="120" height="26"></canvas> <span class="sv ar">&ndash;</span></td>' +
       '<td><canvas class="spark" data-k="qd" width="120" height="26"></canvas> <span class="sv qd">&ndash;</span></td>' +
+      '<td><canvas class="hm" data-d="nm" width="56" height="26"></canvas> <canvas class="hm" data-d="fm" width="56" height="26"></canvas></td>' +
       '<td class="hl">&ndash;</td>';
     tb.appendChild(row);
   });
@@ -212,6 +214,8 @@ function updateRow(id) {
   row.querySelector(".sv.qd").textContent = fmt(lastOf(e.qd), 0);
   spark(row.querySelector('canvas[data-k="ar"]'), e.ar, cssVar("--s-rate"), "access rate");
   spark(row.querySelector('canvas[data-k="qd"]'), e.qd, cssVar("--s-queue"), "queue depth");
+  heatmap(row.querySelector('canvas.hm[data-d="nm"]'), dramOf(e, "nm"));
+  heatmap(row.querySelector('canvas.hm[data-d="fm"]'), dramOf(e, "fm"));
   var hl = row.querySelector(".hl");
   if (e.inc.size > 0) {
     var kinds = Array.from(e.inc.keys());
@@ -254,6 +258,47 @@ function spark(cv, pts, color, name) {
   }
   ctx.stroke();
   cv.title = name + ": last " + fmt(lastOf(pts), 3) + "  min " + fmt(min, 3) + "  max " + fmt(max, 3);
+}
+
+function dramOf(e, dev) {
+  var list = e.dram || [];
+  for (var i = 0; i < list.length; i++) if (list[i].device === dev) return list[i];
+  return null;
+}
+
+// heatmap paints one DRAM device's per-bank row activity as a channels-by-
+// banks grid (rows = channels, columns = banks): cell brightness tracks this
+// epoch's accesses normalized to the hottest bank, and a cell flips to the
+// critical hue once row conflicts dominate that bank's activity — a
+// row-buffer thrash shows up as a bright red stripe.
+function heatmap(cv, d) {
+  if (!cv) return;
+  var dpr = window.devicePixelRatio || 1;
+  if (cv.width !== 56 * dpr) { cv.width = 56 * dpr; cv.height = 26 * dpr; cv.style.width = "56px"; cv.style.height = "26px"; }
+  var ctx = cv.getContext("2d");
+  ctx.setTransform(dpr, 0, 0, dpr, 0, 0);
+  ctx.clearRect(0, 0, 56, 26);
+  if (!d || !d.channels || !d.banks_per_channel) return;
+  var acc = d.bank_accesses || [], conf = d.bank_conflicts || [];
+  var max = 0;
+  for (var i = 0; i < acc.length; i++) if (acc[i] > max) max = acc[i];
+  var cw = 56 / d.banks_per_channel, chh = 26 / d.channels;
+  for (var c = 0; c < d.channels; c++) {
+    for (var b = 0; b < d.banks_per_channel; b++) {
+      var k = c * d.banks_per_channel + b;
+      var a = acc[k] || 0;
+      if (!max || !a) continue;
+      var cf = (conf[k] || 0) / a;
+      ctx.globalAlpha = 0.25 + 0.75 * (a / max);
+      ctx.fillStyle = cf > 0.5 ? cssVar("--crit") : cssVar("--s-rate");
+      ctx.fillRect(b * cw + 0.5, c * chh + 0.5, Math.max(1, cw - 1), Math.max(1, chh - 1));
+    }
+  }
+  ctx.globalAlpha = 1;
+  cv.title = d.device + ": row hit rate " + fmt(d.row_hit_rate, 3) +
+    "  bus util " + fmt(d.bus_util, 3) + "  bank imbalance " + fmt(d.bank_imbalance, 1) +
+    "  row conflicts " + (d.row_conflicts || 0) +
+    "  (rows = channels, cols = banks)";
 }
 
 function tick() { if (dirty) render(); }
@@ -385,6 +430,7 @@ function connect() {
     var m = JSON.parse(ev.data), e = ent(m.run), ep = m.epoch;
     e.st.pct = ep.pct; e.st.mcyc_per_sec = ep.mcyc_per_sec;
     e.st.open_incidents = ep.open_incidents; e.st.state = "running";
+    if (ep.dram) e.dram = ep.dram;
     e.ar.push(ep.access_rate); e.qd.push(ep.queue_nm + ep.queue_fm);
     if (e.ar.length > MAXPTS) e.ar.shift();
     if (e.qd.length > MAXPTS) e.qd.shift();

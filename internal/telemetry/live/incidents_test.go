@@ -9,6 +9,7 @@ import (
 	"silcfm/internal/config"
 	"silcfm/internal/flightrec"
 	"silcfm/internal/harness"
+	"silcfm/internal/health"
 	"silcfm/internal/telemetry/live"
 )
 
@@ -172,8 +173,8 @@ func TestHealthzRuleMetadata(t *testing.T) {
 	if err := json.Unmarshal(body, &hz); err != nil {
 		t.Fatalf("/healthz not JSON: %v", err)
 	}
-	if len(hz.Rules) != 5 {
-		t.Fatalf("/healthz lists %d rules, want 5", len(hz.Rules))
+	if want := len(health.Kinds()); len(hz.Rules) != want {
+		t.Fatalf("/healthz lists %d rules, want %d", len(hz.Rules), want)
 	}
 	for _, r := range hz.Rules {
 		if r.Kind == "" || r.Description == "" || r.Threshold == "" || len(r.FirstLook) == 0 {

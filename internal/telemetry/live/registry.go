@@ -30,6 +30,11 @@ type runState struct {
 	peakQueueFM int
 	done, total uint64
 
+	// dram holds the latest per-device DRAM introspection slice ([nm, fm]).
+	// Entries are value copies built on the sim goroutine and never mutated
+	// after publish, so readers may share the slice.
+	dram []DramDeviceStatus
+
 	open           []health.Incident
 	finished       bool
 	totalIncidents int
@@ -189,6 +194,44 @@ type RunStatus struct {
 	QueueFM        int     `json:"queue_fm"`
 	OpenIncidents  int     `json:"open_incidents"`
 	TotalIncidents int     `json:"total_incidents"`
+	// Dram is the latest per-device DRAM introspection slice ([nm, fm]);
+	// absent until the run publishes its first epoch.
+	Dram []DramDeviceStatus `json:"dram,omitempty"`
+}
+
+// DramDeviceStatus is one DRAM device's epoch-windowed introspection view:
+// headline row-locality/bus figures plus the per-bank heatmap the dashboard
+// renders. BankAccesses/BankConflicts are epoch deltas flattened
+// channel-major (index = channel*BanksPerChannel + bank).
+type DramDeviceStatus struct {
+	Device          string  `json:"device"` // "nm" or "fm"
+	Channels        int     `json:"channels"`
+	BanksPerChannel int     `json:"banks_per_channel"`
+	RowHitRate      float64 `json:"row_hit_rate"`
+	// BusUtil is the epoch's data-bus busy share; bursts booked at issue can
+	// extend past the epoch boundary, so it may slightly exceed 1.
+	BusUtil       float64  `json:"bus_util"`
+	BankImbalance float64  `json:"bank_imbalance"`
+	RowConflicts  uint64   `json:"row_conflicts"`
+	BankAccesses  []uint64 `json:"bank_accesses"`
+	BankConflicts []uint64 `json:"bank_conflicts"`
+}
+
+// dramStatus copies one device's sampler-owned epoch buffers into an
+// immutable snapshot (the sampler reuses its buffers every epoch, so the
+// bank arrays must be copied before the callback returns).
+func dramStatus(dev string, de *telemetry.DramDeviceEpoch, hitRate, busUtil, imbalance float64, conflicts uint64) DramDeviceStatus {
+	return DramDeviceStatus{
+		Device:          dev,
+		Channels:        de.Channels,
+		BanksPerChannel: de.BanksPerChannel,
+		RowHitRate:      hitRate,
+		BusUtil:         busUtil,
+		BankImbalance:   imbalance,
+		RowConflicts:    conflicts,
+		BankAccesses:    append([]uint64(nil), de.BankAccesses...),
+		BankConflicts:   append([]uint64(nil), de.BankConflicts...),
+	}
 }
 
 // Fleet is the cross-run aggregate view: the dashboard's headline tiles
@@ -233,6 +276,14 @@ func (g *Registry) Hook(id string) func(telemetry.EpochState, health.Status) {
 		gauges := append([]mem.Gauge(nil), st.Sample.Gauges...)
 		memCopy := *st.Mem
 		openCopy := append([]health.Incident(nil), hs.Open...)
+		var dramCopy []DramDeviceStatus
+		if st.Dram != nil {
+			sm := st.Sample
+			dramCopy = []DramDeviceStatus{
+				dramStatus("nm", &st.Dram.NM, sm.RowHitRateNM, sm.BusUtilNM, sm.BankImbalanceNM, sm.RowConflictsNM),
+				dramStatus("fm", &st.Dram.FM, sm.RowHitRateFM, sm.BusUtilFM, sm.BankImbalanceFM, sm.RowConflictsFM),
+			}
+		}
 
 		g.mu.Lock()
 		defer g.mu.Unlock()
@@ -247,6 +298,7 @@ func (g *Registry) Hook(id string) func(telemetry.EpochState, health.Status) {
 		rs.queueNM, rs.queueFM = st.Sample.QueueNM, st.Sample.QueueFM
 		rs.peakQueueNM, rs.peakQueueFM = st.Sample.PeakQueueNM, st.Sample.PeakQueueFM
 		rs.done, rs.total = st.Done, st.Total
+		rs.dram = dramCopy
 		rs.open = openCopy
 
 		if len(g.subs) == 0 {
@@ -272,6 +324,7 @@ func (g *Registry) Hook(id string) func(telemetry.EpochState, health.Status) {
 			PeakQueueFM:   st.Sample.PeakQueueFM,
 			McycPerSec:    stats.Ratio(float64(rs.cycle), time.Since(rs.started).Seconds()) / 1e6,
 			OpenIncidents: len(openCopy),
+			Dram:          dramCopy,
 		}
 		g.emitLocked(Event{Type: EventEpoch, Run: id, Epoch: &ep})
 	}
@@ -364,6 +417,7 @@ func (rs *runState) status() RunStatus {
 		QueueFM:        rs.queueFM,
 		OpenIncidents:  len(rs.open),
 		TotalIncidents: rs.totalIncidents,
+		Dram:           rs.dram,
 	}
 	if rs.finished {
 		st.State = "done"

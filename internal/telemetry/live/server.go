@@ -210,6 +210,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				fmt.Sprintf("silcfm_queue_depth_peak{%s,device=\"fm\"} %d", runLabel(rs), rs.peakQueueFM),
 			}
 		})
+	// DRAM introspection families: per-device epoch-windowed gauges plus the
+	// per-bank access heatmap (the scrape-side view of the dashboard panel).
+	dramFamily := func(name, help string, value func(DramDeviceStatus) string) {
+		writeFamily(name, "gauge", help, func(rs *runState) []string {
+			var out []string
+			for _, d := range rs.dram {
+				out = append(out, fmt.Sprintf("%s{%s,device=\"%s\"} %s", name, runLabel(rs), d.Device, value(d)))
+			}
+			return out
+		})
+	}
+	dramFamily("silcfm_dram_row_hit_rate", "Epoch row-buffer hit rate per DRAM device.",
+		func(d DramDeviceStatus) string { return f(d.RowHitRate) })
+	dramFamily("silcfm_dram_bus_util", "Epoch data-bus busy share per DRAM device (bursts booked at issue may push it slightly past 1).",
+		func(d DramDeviceStatus) string { return f(d.BusUtil) })
+	dramFamily("silcfm_dram_bank_imbalance", "Epoch max-over-mean per-bank access imbalance per DRAM device.",
+		func(d DramDeviceStatus) string { return f(d.BankImbalance) })
+	dramFamily("silcfm_dram_row_conflicts", "Epoch row-buffer conflicts per DRAM device (precharge-then-activate).",
+		func(d DramDeviceStatus) string { return u(d.RowConflicts) })
+	writeFamily("silcfm_dram_bank_accesses", "gauge", "Epoch row activity per DRAM bank (hits+misses+conflicts).",
+		func(rs *runState) []string {
+			var out []string
+			for _, d := range rs.dram {
+				for i, v := range d.BankAccesses {
+					if v == 0 {
+						continue
+					}
+					ch, bk := i/d.BanksPerChannel, i%d.BanksPerChannel
+					out = append(out, fmt.Sprintf("silcfm_dram_bank_accesses{%s,device=\"%s\",channel=\"%d\",bank=\"%d\"} %s",
+						runLabel(rs), d.Device, ch, bk, u(v)))
+				}
+			}
+			return out
+		})
 	// Label values are escaped exactly once: escapeLabel output goes inside
 	// literal quotes. (%q would re-escape the backslashes it just added.)
 	writeFamily("silcfm_scheme_gauge", "gauge", "Scheme-internal instantaneous gauges (mem.GaugeProvider).",

@@ -48,6 +48,9 @@ type EpochEvent struct {
 	PeakQueueFM   int     `json:"peak_queue_fm"`
 	McycPerSec    float64 `json:"mcyc_per_sec"`
 	OpenIncidents int     `json:"open_incidents"`
+	// Dram carries the per-device DRAM introspection slice ([nm, fm]) for
+	// this epoch — the dashboard bank heatmap's streaming feed.
+	Dram []DramDeviceStatus `json:"dram,omitempty"`
 }
 
 // DefaultSubscriberBuffer is the per-subscriber event queue length used

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"silcfm/internal/dram"
 	"silcfm/internal/mem"
 	"silcfm/internal/stats"
 )
@@ -45,6 +46,21 @@ type Sample struct {
 	RowHitsFM   uint64 `json:"row_hits_fm"`
 	RowMissesFM uint64 `json:"row_misses_fm"`
 
+	// DRAM introspection deltas/rates over the epoch. RowConflicts is the
+	// precharge-then-activate subset of RowMisses; RowHitRate is
+	// hits/(hits+misses); BusUtil is data-bus burst occupancy per channel
+	// per cycle (bursts are booked at issue, so a boundary epoch can read
+	// slightly above 1); BankImbalance is the peak bank's row operations
+	// over the per-bank mean (0 when idle, 1 when perfectly balanced).
+	RowConflictsNM  uint64  `json:"row_conflicts_nm"`
+	RowConflictsFM  uint64  `json:"row_conflicts_fm"`
+	RowHitRateNM    float64 `json:"row_hit_rate_nm"`
+	RowHitRateFM    float64 `json:"row_hit_rate_fm"`
+	BusUtilNM       float64 `json:"bus_util_nm"`
+	BusUtilFM       float64 `json:"bus_util_fm"`
+	BankImbalanceNM float64 `json:"bank_imbalance_nm"`
+	BankImbalanceFM float64 `json:"bank_imbalance_fm"`
+
 	QueueNM int `json:"queue_nm"`
 	QueueFM int `json:"queue_fm"`
 	// PeakQueueNM/FM are the queue-depth high-water marks over the epoch
@@ -53,6 +69,24 @@ type Sample struct {
 	PeakQueueFM int `json:"peak_queue_fm"`
 
 	Gauges []mem.Gauge `json:"gauges,omitempty"`
+}
+
+// DramDeviceEpoch is one device's per-bank DRAM activity over an epoch:
+// row operations and conflicts per bank, flat-indexed
+// [channel*BanksPerChannel + bank]. The slices are owned by the sampler and
+// overwritten each epoch; consumers must copy what they keep.
+type DramDeviceEpoch struct {
+	Channels        int
+	BanksPerChannel int
+	BankAccesses    []uint64 // row operations (hits+misses+conflicts) this epoch
+	BankConflicts   []uint64 // row conflicts this epoch
+}
+
+// DramEpoch carries both devices' per-bank epoch deltas (the bank-heatmap
+// feed); the device-level rates ride in Sample itself.
+type DramEpoch struct {
+	NM DramDeviceEpoch
+	FM DramDeviceEpoch
 }
 
 // sampler snapshots counters each epoch and streams deltas. w may be nil
@@ -68,12 +102,67 @@ type sampler struct {
 	prev      stats.Memory
 	prevRow   [2][2]uint64 // [level][hit/miss]
 
+	// DRAM introspection deltas: previous per-bank/per-channel ledger
+	// snapshots and the reused per-epoch output buffers, all allocated once
+	// here so the per-epoch path stays allocation-free.
+	prevBank [2][]dram.BankCounters
+	prevChan [2][]dram.ChannelCounters
+	dram     DramEpoch
+
 	wroteHeader bool
 	gaugeNames  []string // CSV gauge column order, fixed at the first sample
 }
 
 func newSampler(w io.Writer, csv bool, sys *mem.System, gp mem.GaugeProvider) *sampler {
-	return &sampler{w: w, csv: csv, sys: sys, gp: gp}
+	s := &sampler{w: w, csv: csv, sys: sys, gp: gp}
+	for lv, dev := range [2]*dram.Device{sys.NM, sys.FM} {
+		ch, bk := dev.Geometry()
+		s.prevBank[lv] = make([]dram.BankCounters, ch*bk)
+		s.prevChan[lv] = make([]dram.ChannelCounters, ch)
+		de := &s.dram.NM
+		if lv == 1 {
+			de = &s.dram.FM
+		}
+		de.Channels, de.BanksPerChannel = ch, bk
+		de.BankAccesses = make([]uint64, ch*bk)
+		de.BankConflicts = make([]uint64, ch*bk)
+	}
+	return s
+}
+
+// dramDelta folds one device's ledger into the epoch buffers and returns
+// the device-level reductions: total conflicts, bus utilization over span,
+// and max-over-mean bank imbalance.
+func (s *sampler) dramDelta(lv int, dev *dram.Device, span uint64) (conflicts uint64, busUtil, imbalance float64) {
+	de := &s.dram.NM
+	if lv == 1 {
+		de = &s.dram.FM
+	}
+	cur := dev.BankCounters()
+	prev := s.prevBank[lv]
+	var total, maxAcc uint64
+	for i := range cur {
+		acc := cur[i].Accesses() - prev[i].Accesses()
+		conf := cur[i].RowConflicts - prev[i].RowConflicts
+		de.BankAccesses[i] = acc
+		de.BankConflicts[i] = conf
+		conflicts += conf
+		total += acc
+		if acc > maxAcc {
+			maxAcc = acc
+		}
+		prev[i] = cur[i]
+	}
+	curCh := dev.ChannelCounters()
+	prevCh := s.prevChan[lv]
+	var bus uint64
+	for i := range curCh {
+		bus += curCh[i].BusBusyCycles - prevCh[i].BusBusyCycles
+		prevCh[i] = curCh[i]
+	}
+	busUtil = stats.Ratio(float64(bus), float64(len(curCh))*float64(span))
+	imbalance = stats.Ratio(float64(maxAcc)*float64(len(cur)), float64(total))
+	return
 }
 
 // sample emits one epoch row at the current cycle and returns it for
@@ -125,6 +214,10 @@ func (s *sampler) sample() (*Sample, error) {
 	// rate, not NaN (which would poison the JSONL/CSV streams and break
 	// manifest byte-determinism).
 	sm.AccessRate = stats.Ratio(float64(sm.ServicedNM), float64(sm.LLCMisses))
+	sm.RowConflictsNM, sm.BusUtilNM, sm.BankImbalanceNM = s.dramDelta(0, s.sys.NM, sm.SpanCycles)
+	sm.RowConflictsFM, sm.BusUtilFM, sm.BankImbalanceFM = s.dramDelta(1, s.sys.FM, sm.SpanCycles)
+	sm.RowHitRateNM = stats.Ratio(float64(sm.RowHitsNM), float64(sm.RowHitsNM+sm.RowMissesNM))
+	sm.RowHitRateFM = stats.Ratio(float64(sm.RowHitsFM), float64(sm.RowHitsFM+sm.RowMissesFM))
 	if s.gp != nil {
 		sm.Gauges = s.gp.Gauges()
 	}
@@ -179,6 +272,10 @@ var csvFixed = []string{
 	"swaps_in", "swaps_out", "locks", "unlocks", "migrations", "bypassed",
 	"predictor_hits", "predictor_misses",
 	"row_hits_nm", "row_misses_nm", "row_hits_fm", "row_misses_fm",
+	"row_conflicts_nm", "row_conflicts_fm",
+	"row_hit_rate_nm", "row_hit_rate_fm",
+	"bus_util_nm", "bus_util_fm",
+	"bank_imbalance_nm", "bank_imbalance_fm",
 	"queue_nm", "queue_fm", "peak_queue_nm", "peak_queue_fm",
 }
 
@@ -223,6 +320,15 @@ func (s *sampler) writeCSV(sm *Sample) error {
 	u(sm.RowMissesNM)
 	u(sm.RowHitsFM)
 	u(sm.RowMissesFM)
+	u(sm.RowConflictsNM)
+	u(sm.RowConflictsFM)
+	f := func(v float64) { b.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); b.WriteByte(',') }
+	f(sm.RowHitRateNM)
+	f(sm.RowHitRateFM)
+	f(sm.BusUtilNM)
+	f(sm.BusUtilFM)
+	f(sm.BankImbalanceNM)
+	f(sm.BankImbalanceFM)
 	b.WriteString(strconv.Itoa(sm.QueueNM))
 	b.WriteByte(',')
 	b.WriteString(strconv.Itoa(sm.QueueFM))

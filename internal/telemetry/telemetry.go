@@ -69,6 +69,10 @@ type EpochState struct {
 	// during the callback, like Mem/Lat); consumers that want per-epoch
 	// deltas difference it themselves (the flight recorder does).
 	Attr *stats.Attribution
+	// Dram points at the sampler-owned per-bank DRAM epoch deltas (the
+	// bank-heatmap feed). Like Mem/Lat/Attr it is valid only during the
+	// callback and its buffers are overwritten next epoch.
+	Dram *DramEpoch
 	// Done/Total are the instruction-progress probe's values (zero when
 	// no probe is installed; see T.SetProgress).
 	Done, Total uint64
@@ -197,7 +201,7 @@ func (t *T) emit(sm *Sample) {
 	if sm == nil || t.cfg.OnEpoch == nil {
 		return
 	}
-	st := EpochState{Sample: sm, Mem: t.sys.Stats, Lat: t.sys.Lat, Attr: t.sys.Attr}
+	st := EpochState{Sample: sm, Mem: t.sys.Stats, Lat: t.sys.Lat, Attr: t.sys.Attr, Dram: &t.sampler.dram}
 	if t.progress != nil {
 		st.Done, st.Total = t.progress()
 	}

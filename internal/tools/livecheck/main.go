@@ -44,7 +44,7 @@ func check(client *http.Client, base string) error {
 	if err != nil {
 		return err
 	}
-	for _, want := range []string{"<title>silcfm fleet</title>", "EventSource", "/api/runs"} {
+	for _, want := range []string{"<title>silcfm fleet</title>", "EventSource", "/api/runs", "bank heat", "function heatmap"} {
 		if !strings.Contains(string(body), want) {
 			return fmt.Errorf("/: dashboard missing %q", want)
 		}
@@ -71,6 +71,31 @@ func check(client *http.Client, base string) error {
 	if len(api.Runs) == 0 || api.Fleet.Runs != len(api.Runs) {
 		return fmt.Errorf("/api/runs: fleet.runs=%d but %d runs listed", api.Fleet.Runs, len(api.Runs))
 	}
+	// Per-bank DRAM introspection: every run that has published an epoch
+	// carries a well-formed [nm, fm] snapshot, and at least one run does.
+	withDram := 0
+	for _, rs := range api.Runs {
+		if len(rs.Dram) == 0 {
+			continue
+		}
+		withDram++
+		if len(rs.Dram) != 2 {
+			return fmt.Errorf("/api/runs: run %q has %d dram devices, want 2", rs.Run, len(rs.Dram))
+		}
+		for _, d := range rs.Dram {
+			if d.Device != "nm" && d.Device != "fm" {
+				return fmt.Errorf("/api/runs: run %q has dram device %q", rs.Run, d.Device)
+			}
+			want := d.Channels * d.BanksPerChannel
+			if want <= 0 || len(d.BankAccesses) != want || len(d.BankConflicts) != want {
+				return fmt.Errorf("/api/runs: run %q device %s: %dch x %dbk but %d/%d bank cells",
+					rs.Run, d.Device, d.Channels, d.BanksPerChannel, len(d.BankAccesses), len(d.BankConflicts))
+			}
+		}
+	}
+	if withDram == 0 {
+		return fmt.Errorf("/api/runs: no run carries a dram introspection snapshot")
+	}
 
 	// /events: the stream opens with an init snapshot consistent with
 	// /api/runs (later frames only flow while runs publish, so only the
@@ -91,6 +116,10 @@ func check(client *http.Client, base string) error {
 	for _, family := range []string{
 		"silcfm_cycle", "silcfm_access_rate", "silcfm_llc_misses_total",
 		"silcfm_queue_depth_peak", "silcfm_open_incidents",
+		"silcfm_row_conflicts_nm_total", "silcfm_row_conflicts_fm_total",
+		"silcfm_dram_row_hit_rate", "silcfm_dram_bus_util",
+		"silcfm_dram_bank_imbalance", "silcfm_dram_row_conflicts",
+		"silcfm_dram_bank_accesses",
 		"silcfm_fleet_runs", "silcfm_fleet_runs_done", "silcfm_fleet_mcyc_per_sec",
 		"silcfm_fleet_eta_seconds", "silcfm_fleet_open_incidents",
 		"silcfm_fleet_sse_subscribers", "silcfm_fleet_sse_dropped_total",
