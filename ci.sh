@@ -8,6 +8,7 @@
 #   ./ci.sh perf     # only the perf-regression stage (speed/alloc bands)
 #   ./ci.sh live     # only the live-server endpoint + inertness stage
 #   ./ci.sh postmortem # only the flight-recorder capture/determinism/inertness stage
+#   ./ci.sh exemplars # only the tail-exemplar capture/determinism/inertness stage
 #   ./ci.sh history  # only the cross-PR trajectory-report stage
 set -eu
 
@@ -19,7 +20,7 @@ set -eu
 bench_smoke() {
 	go build -o /tmp/silcfm-bench ./cmd/silcfm-bench
 	/tmp/silcfm-bench -short -quiet -out /tmp/bench_smoke.json
-	/tmp/silcfm-bench -diff -subset -noise 0 BENCH_PR9.json /tmp/bench_smoke.json
+	/tmp/silcfm-bench -diff -subset -noise 0 BENCH_PR10.json /tmp/bench_smoke.json
 }
 
 # Perf-regression stage: rerun the short suite best-of-5 and gate the
@@ -34,7 +35,7 @@ perf_gate() {
 	go build -o /tmp/silcfm-bench ./cmd/silcfm-bench
 	/tmp/silcfm-bench -short -quiet -reps 5 -out /tmp/bench_perf.json
 	/tmp/silcfm-bench -diff -subset -noise 0 -speed-noise 0.6 -alloc-noise 0.25 \
-		BENCH_PR9.json /tmp/bench_perf.json
+		BENCH_PR10.json /tmp/bench_perf.json
 }
 
 # Live-observability stage: run a short simulation with the embedded HTTP
@@ -124,6 +125,48 @@ postmortem_smoke() {
 	/tmp/silcfm-bench -diff -noise 0 /tmp/pm_off.json /tmp/pm_on.json
 }
 
+# Tail-exemplar stage: run the capacity-pressured thrash configuration and
+# prove the exemplar recorder's contracts end to end: (1) it captures — the
+# printed report closes with a "tail exemplars:" waterfall and
+# -exemplars-out writes the worst-K records as JSONL; (2) it is
+# deterministic — an identical rerun reproduces the JSONL byte-for-byte;
+# (3) it is inert — a -exemplars=false run's manifest is byte-identical to
+# the recorder-on manifest everywhere outside the sim.exemplars leaf itself.
+exemplars_smoke() {
+	go build -o /tmp/silcfm-sim ./cmd/silcfm-sim
+	/tmp/silcfm-sim -workload milc -instr 100000 -scale-instr=false \
+		-nm 8 -fm 32 -footscale 16 \
+		-exemplars-out /tmp/ex_a.jsonl -manifest-out /tmp/ex_on.json >/tmp/ex_report.txt
+	grep -q '^tail exemplars:' /tmp/ex_report.txt
+	grep -q 'max=' /tmp/ex_report.txt
+	if [ ! -s /tmp/ex_a.jsonl ]; then
+		echo "exemplars_smoke: run captured no exemplars" >&2
+		exit 1
+	fi
+	# Determinism: an identical rerun must reproduce every JSONL byte.
+	/tmp/silcfm-sim -workload milc -instr 100000 -scale-instr=false \
+		-nm 8 -fm 32 -footscale 16 \
+		-exemplars-out /tmp/ex_b.jsonl >/dev/null
+	cmp /tmp/ex_a.jsonl /tmp/ex_b.jsonl
+	# Inertness: recorder off must change nothing but its own manifest leaf.
+	/tmp/silcfm-sim -workload milc -instr 100000 -scale-instr=false \
+		-nm 8 -fm 32 -footscale 16 \
+		-exemplars=false -manifest-out /tmp/ex_off.json >/dev/null
+	python3 - /tmp/ex_on.json /tmp/ex_off.json <<'EOF'
+import json, sys
+on, off = (json.load(open(p)) for p in sys.argv[1:3])
+for e in off["entries"]:
+    if "exemplars" in e["sim"]:
+        sys.exit("exemplars_smoke: -exemplars=false manifest still has sim.exemplars")
+for m in (on, off):
+    for e in m["entries"]:
+        e["sim"].pop("exemplars", None)
+        e["host"] = {}
+if on != off:
+    sys.exit("exemplars_smoke: on/off manifests differ outside the exemplars leaf")
+EOF
+}
+
 # Trajectory stage: regenerate the cross-PR trajectory report from the
 # committed BENCH_PR*.json baselines and require it to match the committed
 # TRAJECTORY.md byte-for-byte. The report is a pure function of the input
@@ -138,7 +181,7 @@ history_smoke() {
 		exit 1
 	fi
 	# Explicit ordered paths must agree with the glob expansion.
-	/tmp/silcfm-bench -history BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR9.json >/tmp/trajectory_explicit.md
+	/tmp/silcfm-bench -history BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR9.json BENCH_PR10.json >/tmp/trajectory_explicit.md
 	diff -u TRAJECTORY.md /tmp/trajectory_explicit.md
 }
 
@@ -156,6 +199,10 @@ if [ "${1:-}" = "live" ]; then
 fi
 if [ "${1:-}" = "postmortem" ]; then
 	postmortem_smoke
+	exit 0
+fi
+if [ "${1:-}" = "exemplars" ]; then
+	exemplars_smoke
 	exit 0
 fi
 if [ "${1:-}" = "history" ]; then
@@ -176,9 +223,9 @@ fi
 # race-test them first so broken instrumentation fails in seconds, not after
 # the full sweep-driven suite.
 go vet ./internal/stats ./internal/mem ./internal/telemetry ./internal/manifest \
-	./internal/health ./internal/telemetry/live
+	./internal/health ./internal/telemetry/live ./internal/telemetry/exemplar
 go test -race ./internal/stats ./internal/mem ./internal/telemetry ./internal/manifest \
-	./internal/health ./internal/telemetry/live
+	./internal/health ./internal/telemetry/live ./internal/telemetry/exemplar
 
 go vet ./...
 go build ./...
@@ -186,5 +233,6 @@ bench_smoke
 perf_gate
 live_smoke
 postmortem_smoke
+exemplars_smoke
 history_smoke
 go test -race ./...

@@ -20,7 +20,7 @@
 // -noise band (default ±10%; 0 skips them, for cross-machine diffs).
 //
 // In -history mode the positional arguments are an ordered list of
-// manifest paths (globs expand in sorted order), oldest first, and the
+// manifest paths (globs expand in natural order), oldest first, and the
 // output is a cross-PR trajectory report: per-cell metric curves aligned
 // by config fingerprint, plus fleet-level geomean summaries. The report is
 // a pure function of the input manifests, so a committed TRAJECTORY.md can
@@ -33,7 +33,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 
 	"silcfm/internal/config"
 	"silcfm/internal/harness"
@@ -230,8 +229,9 @@ func runCell(id string, spec harness.Spec, reps int, srv *live.Server) (*manifes
 }
 
 // runHistory expands the ordered path/glob arguments and renders the
-// trajectory report. Globs expand in sorted order; explicit paths keep
-// their command-line order, so mixed usage stays predictable.
+// trajectory report. Globs expand in natural order (embedded integers
+// compared numerically, so PR10 follows PR9 rather than PR1); explicit
+// paths keep their command-line order, so mixed usage stays predictable.
 func runHistory(patterns []string, outMD, outJSON string) int {
 	var paths []string
 	for _, p := range patterns {
@@ -246,7 +246,7 @@ func runHistory(patterns []string, outMD, outJSON string) int {
 			paths = append(paths, p)
 			continue
 		}
-		sort.Strings(matches)
+		manifest.NaturalSort(matches)
 		paths = append(paths, matches...)
 	}
 	steps, err := manifest.LoadHistory(paths)

@@ -53,6 +53,8 @@ func main() {
 		healthOut    = flag.String("health-out", "", "write the run's health incidents to this file (JSONL)")
 		pmOut        = flag.String("postmortem-out", "", "write incident postmortem bundles into this directory (bundle-NNN.json; render with silcfm-postmortem)")
 		flightrecOn  = flag.Bool("flightrec", true, "run the incident flight recorder (inert; -flightrec=false proves it)")
+		exemplarsOut = flag.String("exemplars-out", "", "write the captured tail exemplars (worst-K accesses per path) to this file (JSONL)")
+		exemplarsOn  = flag.Bool("exemplars", true, "run the tail-exemplar recorder (inert; -exemplars=false proves it)")
 		listen       = flag.String("listen", "", "serve live observability HTTP on this address (dashboard, /api/runs, /events, /metrics, /healthz, /progress, /debug/pprof)")
 		linger       = flag.Duration("listen-linger", 0, "keep the -listen server up this long after the run completes")
 		sseSubs      = flag.Int("sse-subs", 0, "attach this many draining /events SSE subscribers before the run starts (inertness testing)")
@@ -128,6 +130,8 @@ func main() {
 		HealthOut:         *healthOut,
 		PostmortemOut:     *pmOut,
 		DisableFlightrec:  !*flightrecOn,
+		ExemplarsOut:      *exemplarsOut,
+		DisableExemplars:  !*exemplarsOn,
 		Seed:              *seed,
 	}
 	if *progress {
@@ -198,6 +202,7 @@ func main() {
 		b.MetricsOut, b.TraceOut, b.ProgressOut = "", "", nil
 		b.ProfileOut, b.ProfileTopK = "", 0
 		b.HealthOut, b.PostmortemOut = "", ""
+		b.ExemplarsOut = ""
 		var bentry *manifest.Entry
 		base, bentry, err = silcfm.RunEntry(b, "base/"+wlLabel)
 		if err != nil {
@@ -281,12 +286,15 @@ func printReport(r *silcfm.Report) {
 	fmt.Printf("wall time:          %.3f s  (%.1f Mcycles/s)\n",
 		r.WallSeconds, r.SimCyclesPerSec/1e6)
 	for _, p := range r.DemandLatency {
-		fmt.Printf("latency %-11s n=%-9d mean=%-8.1f p50=%-6d p95=%-6d p99=%d\n",
-			p.Path+":", p.Count, p.Mean, p.P50, p.P95, p.P99)
+		fmt.Printf("latency %-11s n=%-9d mean=%-8.1f p50=%-6d p95=%-6d p99=%-6d max=%d\n",
+			p.Path+":", p.Count, p.Mean, p.P50, p.P95, p.P99, p.Max)
 	}
 	for _, s := range r.Attribution {
 		fmt.Printf("spans   %-11s queue=%-10d service=%-10d meta=%-9d swap-ser=%-8d mispred=%-8d other=%d\n",
 			s.Path+":", s.Queue, s.Service, s.MetaFetch, s.SwapSerial, s.Mispredict, s.Other)
+	}
+	if r.TailExemplars != "" {
+		fmt.Print(r.TailExemplars)
 	}
 	if len(r.Health) == 0 {
 		fmt.Println("health:             ok")

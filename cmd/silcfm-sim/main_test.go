@@ -63,3 +63,43 @@ func TestEDPTextLineZeroBaseline(t *testing.T) {
 		t.Fatalf("zero-EDP baseline line = %q, want ratio 0.000", line)
 	}
 }
+
+// TestPrintReportLatencyLinesGolden pins the human-readable latency lines
+// byte-for-byte: per-path count, mean and percentiles plus the exact max,
+// followed by the tail-exemplar waterfall block when one was rendered.
+func TestPrintReportLatencyLinesGolden(t *testing.T) {
+	r := &silcfm.Report{
+		Workload: "milc",
+		Scheme:   "silc",
+		DemandLatency: []silcfm.PathLatency{
+			{Path: "nm-hit", Count: 1200, Mean: 43.5, P50: 40, P95: 80, P99: 120, Max: 913},
+			{Path: "swap", Count: 7, Mean: 210.0, P50: 200, P95: 260, P99: 260, Max: 264},
+		},
+		TailExemplars: "tail exemplars:\n  spans: .=queue #=service m=meta-fetch s=swap-serial !=mispredict -=other\n",
+	}
+
+	old := os.Stdout
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = pw
+	printReport(r)
+	pw.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{
+		"latency nm-hit:     n=1200      mean=43.5     p50=40     p95=80     p99=120    max=913\n",
+		"latency swap:       n=7         mean=210.0    p50=200    p95=260    p99=260    max=264\n",
+		"tail exemplars:\n",
+	}
+	for _, w := range want {
+		if !strings.Contains(string(out), w) {
+			t.Fatalf("report output missing golden line %q:\n%s", w, out)
+		}
+	}
+}

@@ -5,7 +5,13 @@
 //
 //	silcfm-trace -gen -workload mcf -n 1000000 -o mcf.sfmt
 //	silcfm-trace -inspect mcf.sfmt
+//	silcfm-trace -inspect run.json -path swap -slowest 5   # Perfetto trace
 //	silcfm-trace -characterize          # profile all 14 synthetic workloads
+//
+// -inspect also understands the Perfetto/Chrome trace JSON the simulator
+// writes with -trace-out: it locates the injected tail-exemplar span trees
+// ("exemplar:<path>" tracks) and prints their waterfalls, filtered with
+// -path (demand path substring) and -slowest N (worst N by duration).
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"silcfm/internal/memunits"
@@ -36,6 +43,8 @@ func main() {
 		metricsEpoch = flag.Uint64("metrics-epoch", 100_000, "references per characterization window")
 		progress     = flag.Bool("progress", false, "with -gen: print a progress line per window to stderr")
 		topK         = flag.Int("topk", 0, "with -inspect: also list the K hottest 2 KB pages and PCs")
+		pathFilter   = flag.String("path", "", "with -inspect on a Perfetto trace: only exemplar span trees on this demand path (substring match)")
+		slowest      = flag.Int("slowest", 0, "with -inspect on a Perfetto trace: only the N slowest exemplar span trees (0 = all)")
 	)
 	flag.Parse()
 
@@ -46,6 +55,13 @@ func main() {
 			os.Exit(1)
 		}
 	case *inspect != "":
+		if isPerfettoTrace(*inspect) {
+			if err := inspectPerfetto(*inspect, *pathFilter, *slowest); err != nil {
+				fmt.Fprintln(os.Stderr, "silcfm-trace:", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := inspectFile(*inspect, *topK); err != nil {
 			fmt.Fprintln(os.Stderr, "silcfm-trace:", err)
 			os.Exit(1)
@@ -213,6 +229,132 @@ func (m *windowMetrics) flush() error {
 	m.refs, m.writes, m.instr = 0, 0, 0
 	m.pages = map[uint64]struct{}{}
 	m.subblocks = map[uint64]struct{}{}
+	return nil
+}
+
+// isPerfettoTrace sniffs whether path holds the Chrome trace-event JSON the
+// simulator's -trace-out writes (as opposed to a binary .sfmt reference
+// trace): the file starts with '{'.
+func isPerfettoTrace(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := io.ReadFull(f, b[:]); err != nil {
+		return false
+	}
+	return b[0] == '{'
+}
+
+// perfettoEvent is the subset of the Chrome trace-event shape -inspect
+// needs to locate exemplar span trees.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// spanTree is one exemplar's parent span plus its child component spans.
+type spanTree struct {
+	track    string // "exemplar:<path>"
+	name     string // "pa=0x..."
+	ts, dur  uint64
+	children []perfettoEvent
+}
+
+// inspectPerfetto summarizes a Perfetto trace and prints its injected
+// exemplar span trees, filtered by demand path substring and bounded to the
+// N slowest (by parent duration; ties broken by start then track for a
+// deterministic listing).
+func inspectPerfetto(path, pathFilter string, slowest int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []perfettoEvent `json:"traceEvents"`
+		OtherData   struct {
+			Events       uint64 `json:"events"`
+			Dropped      uint64 `json:"dropped"`
+			Spans        uint64 `json:"spans"`
+			SpansDropped uint64 `json:"spans_dropped"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: not a Perfetto trace: %w", path, err)
+	}
+	tracks := map[int]string{}
+	var instants int
+	for i := range doc.TraceEvents {
+		e := &doc.TraceEvents[i]
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				if name, ok := e.Args["name"].(string); ok {
+					tracks[e.Tid] = name
+				}
+			}
+		case "i":
+			instants++
+		}
+	}
+	// Exemplar parents are the "pa=0x..." spans on "exemplar:*" tracks;
+	// the component spans that follow a parent on its track nest inside it
+	// by time containment.
+	var trees []spanTree
+	for i := range doc.TraceEvents {
+		e := &doc.TraceEvents[i]
+		if e.Ph != "X" || !strings.HasPrefix(tracks[e.Tid], "exemplar:") {
+			continue
+		}
+		if strings.HasPrefix(e.Name, "pa=") {
+			trees = append(trees, spanTree{track: tracks[e.Tid], name: e.Name, ts: e.Ts, dur: e.Dur})
+			continue
+		}
+		for j := len(trees) - 1; j >= 0; j-- {
+			t := &trees[j]
+			if t.track == tracks[e.Tid] && e.Ts >= t.ts && e.Ts+e.Dur <= t.ts+t.dur {
+				t.children = append(t.children, *e)
+				break
+			}
+		}
+	}
+	fmt.Printf("perfetto trace: %d movement events kept (%d observed, %d dropped), %d injected spans (%d dropped), %d exemplar span trees\n",
+		instants, doc.OtherData.Events, doc.OtherData.Dropped, doc.OtherData.Spans, doc.OtherData.SpansDropped, len(trees))
+	if pathFilter != "" {
+		kept := trees[:0]
+		for _, t := range trees {
+			if strings.Contains(strings.TrimPrefix(t.track, "exemplar:"), pathFilter) {
+				kept = append(kept, t)
+			}
+		}
+		trees = kept
+		fmt.Printf("path filter %q: %d span trees match\n", pathFilter, len(trees))
+	}
+	sort.SliceStable(trees, func(i, j int) bool {
+		if trees[i].dur != trees[j].dur {
+			return trees[i].dur > trees[j].dur
+		}
+		if trees[i].ts != trees[j].ts {
+			return trees[i].ts < trees[j].ts
+		}
+		return trees[i].track < trees[j].track
+	})
+	if slowest > 0 && len(trees) > slowest {
+		fmt.Printf("showing the %d slowest of %d\n", slowest, len(trees))
+		trees = trees[:slowest]
+	}
+	for _, t := range trees {
+		fmt.Printf("%s  %s  start=%d dur=%d\n", t.track, t.name, t.ts, t.dur)
+		for _, c := range t.children {
+			fmt.Printf("    %-12s +%-8d %d cycles\n", c.Name, c.Ts-t.ts, c.Dur)
+		}
+	}
 	return nil
 }
 

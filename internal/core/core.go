@@ -608,6 +608,23 @@ func (c *Controller) Gauges() []mem.Gauge {
 	}
 }
 
+// LockState implements mem.LockProbe: the lock state of the NM frame
+// backing pa's flat block. For an NM-range address that is the home frame;
+// for an FM-range address it is the frame (if any) whose remap currently
+// interleaves the block. Pure and O(associativity).
+func (c *Controller) LockState(pa uint64) (locked, home bool) {
+	b := memunits.BlockOf(pa)
+	if b < c.nmBlocks {
+		fr := &c.fs.frames[b]
+		return fr.locked, fr.lockHome
+	}
+	if f, ok := c.fs.findRemap(c.fs.setOf(b), b); ok {
+		fr := &c.fs.frames[f]
+		return fr.locked, fr.lockHome
+	}
+	return false, false
+}
+
 // LockedFrames counts currently locked frames.
 func (c *Controller) LockedFrames() int {
 	n := 0

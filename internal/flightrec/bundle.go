@@ -9,6 +9,7 @@ import (
 
 	"silcfm/internal/health"
 	"silcfm/internal/telemetry"
+	"silcfm/internal/telemetry/exemplar"
 )
 
 // BundleSchema versions the bundle JSON layout.
@@ -49,6 +50,10 @@ type Bundle struct {
 	Rules []RuleTrace `json:"rules,omitempty"`
 	// Offenders is the window-wide top-K offender table.
 	Offenders []Offender `json:"offenders,omitempty"`
+	// Exemplars is the tail-exemplar reservoir frozen at incident open:
+	// the worst-K demand accesses per path leading into the incident
+	// (path-grouped, worst-first), when the exemplar recorder was attached.
+	Exemplars []exemplar.Exemplar `json:"exemplars,omitempty"`
 	// Epochs is the captured window, oldest first.
 	Epochs        []EpochRecord `json:"epochs"`
 	EpochsDropped uint64        `json:"epochs_dropped,omitempty"`

@@ -22,6 +22,7 @@ import (
 	"silcfm/internal/sim"
 	"silcfm/internal/stats"
 	"silcfm/internal/telemetry"
+	"silcfm/internal/telemetry/exemplar"
 )
 
 // Defaults for the zero Config.
@@ -77,6 +78,11 @@ type Config struct {
 	// goroutine (the live registry attaches here). Bundles are immutable
 	// once emitted, so the callback may retain and share them freely.
 	OnBundle func(*Bundle)
+	// Exemplars, when set, is called at incident open to freeze the
+	// tail-latency exemplar reservoirs into the capture (the harness wires
+	// it to the exemplar recorder's Snapshot). The returned slice must be
+	// immutable.
+	Exemplars func() []exemplar.Exemplar
 }
 
 func (c Config) withDefaults() Config {
@@ -208,7 +214,8 @@ type capture struct {
 	epDropped  uint64
 	incidents  []health.Incident // closes observed during the capture
 	openKinds  map[string]bool
-	quiet      int // consecutive all-closed epochs (tail countdown)
+	quiet      int                 // consecutive all-closed epochs (tail countdown)
+	exemplars  []exemplar.Exemplar // tail reservoirs frozen at open
 }
 
 // New builds a recorder over sys with cfg's bounds (zero fields take the
@@ -488,6 +495,12 @@ func (r *Recorder) openCapture(epoch uint64, hs health.Status) {
 		trigger:   hs.Opened[0].Kind,
 		openKinds: make(map[string]bool, len(r.kinds)),
 	}
+	// Freeze the tail-exemplar reservoirs as they stood when the incident
+	// opened: the slow accesses that led INTO the incident, not the ones
+	// that followed it.
+	if r.cfg.Exemplars != nil {
+		c.exemplars = r.cfg.Exemplars()
+	}
 	for _, in := range hs.Open {
 		c.openKinds[in.Kind] = true
 	}
@@ -574,6 +587,7 @@ func (r *Recorder) finalize(forced bool) {
 		Events:        c.events,
 		EventsDropped: c.evDropped,
 		Incidents:     c.incidents,
+		Exemplars:     c.exemplars,
 	}
 	r.bundleAllocs++
 	if len(c.epochs) > 0 {

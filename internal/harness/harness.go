@@ -26,6 +26,7 @@ import (
 	"silcfm/internal/sim"
 	"silcfm/internal/stats"
 	"silcfm/internal/telemetry"
+	"silcfm/internal/telemetry/exemplar"
 	"silcfm/internal/vm"
 	"silcfm/internal/workload"
 )
@@ -78,6 +79,12 @@ type Spec struct {
 	// postmortem bundle per health incident; set Disabled to opt out. Like
 	// telemetry and health, the recorder is read-only and provably inert.
 	Flightrec *flightrec.Config
+	// Exemplars configures the tail-latency exemplar recorder
+	// (internal/telemetry/exemplar). nil means enabled with defaults —
+	// every run keeps the worst-K demand accesses per service path with
+	// their full span waterfalls; set Disabled to opt out. Like the other
+	// observability layers, the recorder is read-only and provably inert.
+	Exemplars *exemplar.Config
 }
 
 // Result is one completed simulation.
@@ -107,6 +114,11 @@ type Result struct {
 	// was disabled). Deliberately absent from run manifests: bundles are
 	// written to their own files.
 	Bundles []flightrec.Bundle
+	// Exemplars holds the tail-latency exemplar reservoirs at end of run,
+	// grouped by path and worst-first (empty when no demand completed, nil
+	// when the recorder was disabled). Manifests carry only the per-path
+	// summary reduction; the full records go to -exemplars-out JSONL.
+	Exemplars []exemplar.Exemplar
 	// Profile is the hotness profiler, when Spec.Telemetry requested one.
 	Profile *telemetry.Profiler
 	// Spec is the effective spec this run executed (InstrPerCore defaulted,
@@ -177,6 +189,7 @@ func Run(spec Spec) (*Result, error) {
 	manifestSpec.Health = nil
 	manifestSpec.Publish = nil
 	manifestSpec.Flightrec = nil
+	manifestSpec.Exemplars = nil
 
 	gens := make([]workload.Generator, m.Cores)
 	targets := make([]uint64, m.Cores)
@@ -284,6 +297,18 @@ func Run(spec Spec) (*Result, error) {
 		hcfg.QueueCapFM = m.FM.Channels * (m.FM.ReadQueueLen + m.FM.WriteQueueLen)
 	}
 	det := health.NewDetector(hcfg)
+	// The exemplar recorder joins the observer fanout for demand
+	// issue/completion events and the OnEpoch chain (below) for epoch
+	// context. It is created before the flight recorder so incident
+	// captures can freeze its reservoirs at open.
+	ecfg := exemplar.Config{}
+	if spec.Exemplars != nil {
+		ecfg = *spec.Exemplars
+	}
+	exr := exemplar.New(ecfg, sys, rawCtl)
+	if exr != nil {
+		sys.AttachObserver(exr)
+	}
 	// The flight recorder joins the observer fanout for movement events and
 	// the OnEpoch chain (below) for epoch state + health status. It stamps
 	// bundles with the same fingerprint the run manifest will carry.
@@ -291,6 +316,7 @@ func Run(spec Spec) (*Result, error) {
 	if spec.Flightrec != nil {
 		fcfg = *spec.Flightrec
 	}
+	fcfg.Exemplars = exr.Snapshot // nil-safe; freezes the reservoirs at incident open
 	rec := flightrec.New(fcfg, sys, manifestSpec.Fingerprint(), ctl.Name()+"/"+wlLabel)
 	if rec != nil {
 		sys.AttachObserver(rec)
@@ -299,7 +325,7 @@ func Run(spec Spec) (*Result, error) {
 	if spec.Telemetry != nil {
 		tcfg = *spec.Telemetry
 	}
-	if det != nil || spec.Publish != nil || rec != nil {
+	if det != nil || spec.Publish != nil || rec != nil || exr != nil {
 		userEpoch := tcfg.OnEpoch
 		publish := spec.Publish
 		// prevOpen carries the previous epoch's open set so every publish
@@ -309,11 +335,12 @@ func Run(spec Spec) (*Result, error) {
 		var prevOpen []health.Incident
 		tcfg.OnEpoch = func(st telemetry.EpochState) {
 			det.Observe(st.Sample)
-			if publish != nil || rec != nil {
+			if publish != nil || rec != nil || exr != nil {
 				open := det.Open()
 				opened, closed := health.DiffOpen(prevOpen, open)
 				prevOpen = open
 				hs := health.Status{Open: open, Opened: opened, Closed: closed}
+				exr.Observe(st, hs)
 				rec.Observe(st, hs)
 				if publish != nil {
 					publish(st, hs)
@@ -346,6 +373,12 @@ func Run(spec Spec) (*Result, error) {
 	if !cx.AllDone() {
 		return nil, fmt.Errorf("harness: simulation deadlocked at cycle %d", eng.Now())
 	}
+	// Inject exemplar span waterfalls into the movement trace before Finish
+	// writes it: one track per path, the end-to-end span as the parent and
+	// the attribution components nested sequentially beneath it.
+	if tr := tel.Tracer(); tr != nil && exr != nil {
+		injectExemplarSpans(tr, exr.Snapshot())
+	}
 	if err := tel.Finish(); err != nil {
 		return nil, fmt.Errorf("harness: telemetry: %w", err)
 	}
@@ -355,6 +388,7 @@ func Run(spec Spec) (*Result, error) {
 	// Finish after telemetry Finish (the final partial epoch is pumped) so
 	// a capture still open at end of run flushes with the full window.
 	res.Bundles = rec.Finish()
+	res.Exemplars = exr.Finish()
 	res.Spec = manifestSpec
 	res.Workload = wlLabel
 	res.Scheme = ctl.Name()
@@ -410,6 +444,34 @@ func Run(spec Spec) (*Result, error) {
 	res.WallSeconds = time.Since(wallStart).Seconds()
 	res.SimCyclesPerSec = stats.Ratio(float64(res.Cycles), loopSeconds)
 	return res, nil
+}
+
+// injectExemplarSpans lays each exemplar's span waterfall into the trace:
+// a parent duration span covering the whole access on an "exemplar:<path>"
+// track, with the nonzero attribution components nested sequentially
+// beneath it (Chrome complete events on one track nest by containment).
+// The sequential layout is a presentation of the decomposition, not a
+// claim that the components were serialized; their sum equals the parent
+// duration exactly.
+func injectExemplarSpans(tr *telemetry.Tracer, es []exemplar.Exemplar) {
+	for i := range es {
+		e := &es[i]
+		track := "exemplar:" + e.Path
+		op := "read"
+		if e.Write {
+			op = "write"
+		}
+		tr.AddSpan(track, fmt.Sprintf("pa=0x%x", e.PAddr), e.StartCycle, e.Latency,
+			map[string]any{"op": op, "core": e.Core, "block": e.Block, "lat": e.Latency, "seq": e.Seq})
+		off := e.StartCycle
+		for _, sp := range e.Spans {
+			if sp.Cycles == 0 {
+				continue
+			}
+			tr.AddSpan(track, sp.Span, off, sp.Cycles, nil)
+			off += sp.Cycles
+		}
+	}
 }
 
 // loadTrace reads a trace file into a Replay generator.

@@ -7,6 +7,7 @@ import (
 
 	"silcfm/internal/config"
 	"silcfm/internal/stats"
+	"silcfm/internal/telemetry/exemplar"
 	"silcfm/internal/workload"
 )
 
@@ -439,4 +440,85 @@ func TestEnergyFavorsNMHeavySchemes(t *testing.T) {
 		t.Fatalf("baseline FM energy %.0f !> silc %.0f", base.Energy.FMDynamicNJ, silc.Energy.FMDynamicNJ)
 	}
 	_ = perByte
+}
+
+// TestExemplarRecorderInertAndExact proves the two contracts the tail-
+// exemplar recorder makes: disabling it changes nothing the simulation
+// computes (inertness), and every captured exemplar's span decomposition
+// sums exactly to its recorded latency, with the per-path worst matching
+// the latency histogram's exact max (exactness).
+func TestExemplarRecorderInertAndExact(t *testing.T) {
+	on, err := Run(tinySpec(config.SchemeSILCFM, "milc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offSpec := tinySpec(config.SchemeSILCFM, "milc")
+	offSpec.Exemplars = &exemplar.Config{Disabled: true}
+	off, err := Run(offSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if off.Exemplars != nil {
+		t.Fatalf("disabled recorder produced %d exemplars", len(off.Exemplars))
+	}
+	if on.Cycles != off.Cycles {
+		t.Fatalf("recorder changed Cycles: %d vs %d", on.Cycles, off.Cycles)
+	}
+	if on.Mem != off.Mem {
+		t.Fatalf("recorder changed memory counters:\non  %+v\noff %+v", on.Mem, off.Mem)
+	}
+	if !reflect.DeepEqual(on.Run, off.Run) {
+		t.Fatal("recorder changed stats.Run")
+	}
+	if !reflect.DeepEqual(on.Energy, off.Energy) {
+		t.Fatal("recorder changed energy accounting")
+	}
+
+	if len(on.Exemplars) == 0 {
+		t.Fatal("enabled recorder captured nothing")
+	}
+	worst := map[string]uint64{}
+	counts := map[string]int{}
+	prevPath, prevLat := "", uint64(0)
+	for i := range on.Exemplars {
+		e := &on.Exemplars[i]
+		var sum uint64
+		for _, sp := range e.Spans {
+			sum += sp.Cycles
+		}
+		if sum != e.Latency {
+			t.Fatalf("exemplar %d (%s): span sum %d != latency %d", i, e.Path, sum, e.Latency)
+		}
+		if e.CompleteCycle-e.StartCycle != e.Latency {
+			t.Fatalf("exemplar %d (%s): complete-start %d != latency %d",
+				i, e.Path, e.CompleteCycle-e.StartCycle, e.Latency)
+		}
+		if e.Path == prevPath && e.Latency > prevLat {
+			t.Fatalf("path %s not worst-first: %d after %d", e.Path, e.Latency, prevLat)
+		}
+		if e.Path != prevPath {
+			worst[e.Path] = e.Latency
+		}
+		prevPath, prevLat = e.Path, e.Latency
+		counts[e.Path]++
+	}
+	for path, n := range counts {
+		if n > exemplar.DefaultK {
+			t.Fatalf("path %s holds %d exemplars, K=%d", path, n, exemplar.DefaultK)
+		}
+	}
+	// The worst exemplar per path is the histogram's exact max.
+	for _, s := range on.Lat.Summaries() {
+		w, ok := worst[s.Path]
+		if !ok {
+			if s.Count > 0 {
+				t.Fatalf("path %s completed %d demands but captured no exemplar", s.Path, s.Count)
+			}
+			continue
+		}
+		if w != s.Max {
+			t.Fatalf("path %s: worst exemplar %d != histogram max %d", s.Path, w, s.Max)
+		}
+	}
 }

@@ -46,6 +46,51 @@ func LoadHistory(paths []string) ([]HistoryStep, error) {
 	return steps, nil
 }
 
+// NaturalSort orders paths with embedded integers compared numerically, so
+// BENCH_PR10.json sorts after BENCH_PR9.json. Plain lexical order would put
+// a multi-digit step before its single-digit predecessors and scramble the
+// trajectory.
+func NaturalSort(paths []string) {
+	sort.Slice(paths, func(i, j int) bool { return naturalLess(paths[i], paths[j]) })
+}
+
+func naturalLess(a, b string) bool {
+	for a != "" && b != "" {
+		if isDigit(a[0]) && isDigit(b[0]) {
+			da, db := digitRun(a), digitRun(b)
+			na, nb := strings.TrimLeft(a[:da], "0"), strings.TrimLeft(b[:db], "0")
+			if len(na) != len(nb) {
+				return len(na) < len(nb)
+			}
+			if na != nb {
+				return na < nb
+			}
+			// Equal values spelled differently (leading zeros): lexical.
+			if a[:da] != b[:db] {
+				return a[:da] < b[:db]
+			}
+			a, b = a[da:], b[db:]
+			continue
+		}
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		a, b = a[1:], b[1:]
+	}
+	return len(a) < len(b)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// digitRun returns the length of the leading run of digits in s.
+func digitRun(s string) int {
+	i := 0
+	for i < len(s) && isDigit(s[i]) {
+		i++
+	}
+	return i
+}
+
 // Trajectory metric directions.
 const (
 	DirImproved  = "improved"

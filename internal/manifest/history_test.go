@@ -178,3 +178,29 @@ func TestLoadHistory(t *testing.T) {
 	}
 	_ = os.Remove(p2)
 }
+
+func TestNaturalSortOrdersMultiDigitSteps(t *testing.T) {
+	paths := []string{
+		"BENCH_PR10.json", "BENCH_PR4.json", "BENCH_PR9.json",
+		"BENCH_PR100.json", "BENCH_PR5.json", "BENCH_PR010.json",
+	}
+	NaturalSort(paths)
+	want := []string{
+		"BENCH_PR4.json", "BENCH_PR5.json", "BENCH_PR9.json",
+		// Equal values order lexically (leading zeros first), then magnitude.
+		"BENCH_PR010.json", "BENCH_PR10.json", "BENCH_PR100.json",
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("natural order %v, want %v", paths, want)
+		}
+	}
+	mixed := []string{"b2", "a10", "a9", "a", "b"}
+	NaturalSort(mixed)
+	wantMixed := []string{"a", "a9", "a10", "b", "b2"}
+	for i := range wantMixed {
+		if mixed[i] != wantMixed[i] {
+			t.Fatalf("mixed natural order %v, want %v", mixed, wantMixed)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"silcfm/internal/harness"
 	"silcfm/internal/health"
 	"silcfm/internal/stats"
+	"silcfm/internal/telemetry/exemplar"
 )
 
 // Schema is the manifest format version; Decode rejects other versions so a
@@ -130,6 +131,13 @@ type Sim struct {
 	// diff sim-exact like every counter above: a thrash incident appearing
 	// or vanishing between two builds is a behavior change.
 	Incidents []health.Incident `json:"incidents,omitempty"`
+	// Exemplars reduces the tail-exemplar reservoirs to one summary per
+	// demand path (worst access identity plus reservoir occupancy). The
+	// recorder is byte-deterministic, so the summary diffs sim-exact: a
+	// different worst access between two builds is a behavior change. Full
+	// exemplar records are too bulky for manifests and go to the
+	// -exemplars-out JSONL stream instead.
+	Exemplars []exemplar.PathSummary `json:"exemplars,omitempty"`
 }
 
 // DramSim is one device's DRAM introspection ledger reduced to totals
@@ -289,6 +297,7 @@ func FromResult(id string, res *harness.Result) Entry {
 		}
 	}
 	e.Sim.Incidents = append([]health.Incident(nil), res.Health...)
+	e.Sim.Exemplars = exemplar.Summarize(res.Exemplars)
 	if res.Attr != nil {
 		for _, s := range res.Attr.Summaries() {
 			e.Sim.Attribution = append(e.Sim.Attribution, PathSpans{

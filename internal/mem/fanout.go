@@ -11,8 +11,9 @@ import "silcfm/internal/stats"
 // slice walk with no dynamic type assertions.
 type fanout struct {
 	obs    []Observer
-	scheme []SchemeObserver // members implementing SchemeObserver, attach order
-	demand []DemandObserver // members implementing DemandObserver, attach order
+	scheme []SchemeObserver      // members implementing SchemeObserver, attach order
+	demand []DemandObserver      // members implementing DemandObserver, attach order
+	issue  []DemandIssueObserver // members implementing DemandIssueObserver, attach order
 }
 
 // add appends o and updates the typed views.
@@ -23,6 +24,9 @@ func (f *fanout) add(o Observer) {
 	}
 	if do, ok := o.(DemandObserver); ok {
 		f.demand = append(f.demand, do)
+	}
+	if io, ok := o.(DemandIssueObserver); ok {
+		f.issue = append(f.issue, io)
 	}
 }
 
@@ -74,6 +78,12 @@ func (f *fanout) DemandComplete(a *Access, path stats.DemandPath, lat uint64) {
 	}
 }
 
+func (f *fanout) DemandIssue(a *Access, path stats.DemandPath, loc Location) {
+	for _, io := range f.issue {
+		io.DemandIssue(a, path, loc)
+	}
+}
+
 // AttachObserver adds o to the System's observer chain. The first attach
 // installs o directly; later attaches tee events to every observer in
 // attach order.
@@ -103,4 +113,5 @@ func (s *System) AttachObserver(o Observer) {
 	// check instead of a dynamic type assertion.
 	s.obsScheme, _ = s.Obs.(SchemeObserver)
 	s.obsDemand, _ = s.Obs.(DemandObserver)
+	s.obsIssue, _ = s.Obs.(DemandIssueObserver)
 }

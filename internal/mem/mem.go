@@ -149,6 +149,29 @@ type DemandObserver interface {
 	DemandComplete(a *Access, path stats.DemandPath, lat uint64)
 }
 
+// DemandIssueObserver is an optional Observer extension receiving demand
+// accesses at issue time — when ServiceAccess/SwapAccess dispatches them to
+// the devices, before any (possibly synchronous) completion fires. loc is
+// the device location the demand targets (the src side for swaps). Schemes
+// that classify completions directly through DemandDone (CAMEO's combined
+// remap-read paths) bypass this hook, so issue-side context is best-effort:
+// a DemandComplete may arrive for an access that never saw DemandIssue.
+type DemandIssueObserver interface {
+	DemandIssue(a *Access, path stats.DemandPath, loc Location)
+}
+
+// LockProbe is an optional Controller extension exposing the instantaneous
+// lock state of the frame backing one flat address (SILC-FM's block
+// locking). Pure and O(1); the exemplar recorder samples it at demand issue
+// and completion.
+type LockProbe interface {
+	// LockState reports whether the NM frame currently holding pa's block
+	// is locked, and if so whether it pins its own home block (home=true)
+	// or an interleaved FM block. (false, false) when pa's block is not
+	// NM-resident or the scheme has no locking.
+	LockState(pa uint64) (locked, home bool)
+}
+
 // Gauge is one named instantaneous scheme measurement, sampled by the
 // telemetry epoch sampler alongside the stats.Memory counter deltas.
 type Gauge struct {
@@ -202,10 +225,12 @@ type System struct {
 	// unwired.
 	Obs Observer
 
-	// obsScheme/obsDemand are Obs's optional-interface views, resolved once
-	// in AttachObserver so per-event dispatch skips the type assertion.
+	// obsScheme/obsDemand/obsIssue are Obs's optional-interface views,
+	// resolved once in AttachObserver so per-event dispatch skips the type
+	// assertion.
 	obsScheme SchemeObserver
 	obsDemand DemandObserver
+	obsIssue  DemandIssueObserver
 
 	// FaultInjectSwapOrder reintroduces the pre-fix SwapDemand write-path
 	// ordering bug (demand write submitted before dst's old contents are
@@ -498,15 +523,24 @@ func (s *System) InflightDemands() uint64 { return s.inflight }
 
 // ServiceAccess is ServiceDemand over a full Access, recording the demand
 // completion latency under path and attributing the device request's
-// queue/service time to the access.
+// queue/service time to the access. Issue observers fire before the demand
+// is dispatched (demand writes complete synchronously at submission, so
+// this is the last point the access is reliably in flight).
 func (s *System) ServiceAccess(a *Access, loc Location, path stats.DemandPath) {
+	if io := s.obsIssue; io != nil {
+		io.DemandIssue(a, path, loc)
+	}
 	s.serviceDemand(a.PAddr, loc, a.Write, a.SpanTrace(), s.DemandDone(a, path))
 }
 
 // SwapAccess is SwapDemand over a full Access, recording the demand
 // completion latency under path and attributing the demand leg's
-// queue/service time to the access.
+// queue/service time to the access. Issue observers see the src side (where
+// the demand data currently resides) before dispatch.
 func (s *System) SwapAccess(a *Access, src, dst Location, path stats.DemandPath) {
+	if io := s.obsIssue; io != nil {
+		io.DemandIssue(a, path, src)
+	}
 	s.swapDemand(a.PAddr, src, dst, a.Write, a.SpanTrace(), s.DemandDone(a, path))
 }
 

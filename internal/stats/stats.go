@@ -409,9 +409,12 @@ type PathSummary struct {
 	Count         uint64
 	Mean          float64
 	P50, P95, P99 uint64
+	// Max is the exact worst observed latency (not a bucket bound); the tail
+	// exemplars reference it, so reports print it alongside the percentiles.
+	Max uint64
 }
 
-// Summaries reduces every populated path to count/mean/p50/p95/p99, in
+// Summaries reduces every populated path to count/mean/p50/p95/p99/max, in
 // DemandPath order (deterministic).
 func (p *PathLatencies) Summaries() []PathSummary {
 	var out []PathSummary
@@ -427,6 +430,7 @@ func (p *PathLatencies) Summaries() []PathSummary {
 			P50:   h.Percentile(50),
 			P95:   h.Percentile(95),
 			P99:   h.Percentile(99),
+			Max:   h.Max,
 		})
 	}
 	return out

@@ -1,0 +1,178 @@
+package exemplar
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"silcfm/internal/stats"
+)
+
+// WriteJSONL streams exemplars one JSON object per line, in snapshot
+// order. Field order is fixed by the Exemplar struct, so output is
+// byte-deterministic.
+func WriteJSONL(w io.Writer, es []Exemplar) error {
+	for i := range es {
+		b, err := json.Marshal(&es[i])
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// waterfallWidth is the character budget of the rendered span bar.
+const waterfallWidth = 40
+
+// spanGlyphs maps stats.Span order to the bar glyph per span, so a
+// waterfall is readable without color: queue '.', service '#',
+// meta-fetch 'm', swap-serial 's', mispredict '!', other '-'.
+var spanGlyphs = [stats.NumSpans]byte{'.', '#', 'm', 's', '!', '-'}
+
+// RenderWaterfall writes the human-readable tail-exemplar report: per path
+// (worst-first within each), a one-line summary plus a proportional span
+// bar. top bounds exemplars per path (0 = all). Deterministic: pure
+// function of es.
+func RenderWaterfall(w io.Writer, es []Exemplar, top int) {
+	if len(es) == 0 {
+		fmt.Fprintln(w, "tail exemplars: none captured")
+		return
+	}
+	fmt.Fprintln(w, "tail exemplars:")
+	// Legend once, naming every glyph in span order.
+	var legend []string
+	for sp := stats.Span(0); sp < stats.NumSpans; sp++ {
+		legend = append(legend, fmt.Sprintf("%c=%s", spanGlyphs[sp], sp))
+	}
+	fmt.Fprintf(w, "  spans: %s\n", strings.Join(legend, " "))
+	path := ""
+	n := 0
+	for i := range es {
+		e := &es[i]
+		if e.Path != path {
+			path, n = e.Path, 0
+			fmt.Fprintf(w, "  %s:\n", path)
+		}
+		n++
+		if top > 0 && n > top {
+			continue
+		}
+		fmt.Fprintf(w, "    lat=%-7d cyc=%-10d pa=0x%-10x %s%s\n",
+			e.Latency, e.StartCycle, e.PAddr, bar(e), annotations(e))
+	}
+}
+
+// bar renders the proportional span waterfall of one exemplar.
+func bar(e *Exemplar) string {
+	if e.Latency == 0 {
+		return strings.Repeat(" ", waterfallWidth)
+	}
+	var b strings.Builder
+	used := 0
+	for sp := stats.Span(0); sp < stats.NumSpans; sp++ {
+		c := e.Spans[sp].Cycles
+		if c == 0 {
+			continue
+		}
+		// Round to nearest cell but keep at least one for any nonzero span,
+		// so a thin-but-real component never disappears from the bar.
+		cells := int((c*uint64(waterfallWidth) + e.Latency/2) / e.Latency)
+		if cells == 0 {
+			cells = 1
+		}
+		if used+cells > waterfallWidth {
+			cells = waterfallWidth - used
+		}
+		for i := 0; i < cells; i++ {
+			b.WriteByte(spanGlyphs[sp])
+		}
+		used += cells
+	}
+	for used < waterfallWidth {
+		b.WriteByte(' ')
+		used++
+	}
+	return b.String()
+}
+
+// annotations appends the point-in-time context flags worth a glance:
+// write vs read, lock state, row/bank pressure at completion, and any
+// incidents open when the exemplar was admitted.
+func annotations(e *Exemplar) string {
+	var parts []string
+	if e.Write {
+		parts = append(parts, "write")
+	}
+	if e.Complete.Locked {
+		if e.Complete.LockHome {
+			parts = append(parts, "locked-home")
+		} else {
+			parts = append(parts, "locked")
+		}
+	}
+	if e.Issue != nil && !e.Issue.RowOpen {
+		parts = append(parts, "row-closed")
+	}
+	if e.Issue != nil && e.Issue.BankLoad > 0 {
+		parts = append(parts, fmt.Sprintf("bank-load=%d", e.Issue.BankLoad))
+	}
+	if len(e.OpenIncidents) > 0 {
+		parts = append(parts, "incidents="+strings.Join(e.OpenIncidents, "+"))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(parts, " ") + "]"
+}
+
+// PathSummary reduces one path's captured exemplars to the manifest leaf:
+// reservoir occupancy and the worst access's identity. Every field is a
+// pure function of the simulation, so it is sim-exact in manifests.
+type PathSummary struct {
+	Path string `json:"path"`
+	// Count is the reservoir occupancy (min(K, completions on the path)).
+	Count int `json:"count"`
+	// Worst* identify the slowest access: its end-to-end latency, start
+	// cycle, flat block, and the largest non-other span component.
+	WorstLatency uint64 `json:"worst_latency"`
+	WorstStart   uint64 `json:"worst_start"`
+	WorstBlock   uint64 `json:"worst_block"`
+	WorstSpan    string `json:"worst_span"`
+}
+
+// Summarize reduces a snapshot (path-grouped, worst-first) to per-path
+// summaries in snapshot order.
+func Summarize(es []Exemplar) []PathSummary {
+	var out []PathSummary
+	for i := range es {
+		e := &es[i]
+		if len(out) == 0 || out[len(out)-1].Path != e.Path {
+			out = append(out, PathSummary{
+				Path:         e.Path,
+				WorstLatency: e.Latency,
+				WorstStart:   e.StartCycle,
+				WorstBlock:   e.Block,
+				WorstSpan:    dominantSpan(e),
+			})
+		}
+		out[len(out)-1].Count++
+	}
+	return out
+}
+
+// dominantSpan names e's largest latency component, preferring named spans
+// over the residual on ties (earlier span wins a tie, matching span order).
+func dominantSpan(e *Exemplar) string {
+	best := stats.Span(0)
+	for sp := stats.Span(1); sp < stats.NumSpans; sp++ {
+		if e.Spans[sp].Cycles > e.Spans[best].Cycles {
+			best = sp
+		}
+	}
+	return best.String()
+}

@@ -89,6 +89,25 @@ h2 { font-size: 13px; margin: 20px 0 6px; font-weight: 600; }
 #drill .sline { margin: 2px 0; }
 #drill .sname { display: inline-block; width: 110px; color: var(--text-2); font-size: 11px; }
 #drill .close { float: right; cursor: pointer; color: var(--text-2); }
+#exs td { cursor: pointer; }
+#exs tr:hover td { background: var(--surface-2); }
+#exdrill {
+  margin-top: 10px; border: 1px solid var(--border); border-radius: 6px;
+  background: var(--surface-2); padding: 12px 14px;
+}
+#exdrill h3 { font-size: 13px; margin: 0 0 6px; }
+#exdrill .meta { color: var(--text-2); font-size: 11px; margin-bottom: 8px; }
+#exdrill .close { float: right; cursor: pointer; color: var(--text-2); }
+#exdrill .wfline { margin: 3px 0; white-space: nowrap; }
+#exdrill .wfid { display: inline-block; width: 230px; font-size: 11px; color: var(--text-2); }
+.wfbar {
+  display: inline-block; width: 320px; height: 10px; background: var(--track);
+  border-radius: 3px; overflow: hidden; vertical-align: middle; font-size: 0; white-space: nowrap;
+}
+.wfbar i { display: inline-block; height: 100%; }
+#exdrill .wfnote { font-size: 11px; color: var(--text-2); margin-left: 8px; }
+#exdrill .legend { font-size: 11px; color: var(--text-2); margin: 6px 0; }
+#exdrill .legend i { display: inline-block; width: 10px; height: 10px; border-radius: 2px; vertical-align: middle; margin: 0 3px 0 10px; }
 </style>
 </head>
 <body>
@@ -115,8 +134,17 @@ h2 { font-size: 13px; margin: 20px 0 6px; font-weight: 600; }
   <tbody id="incs"></tbody>
 </table>
 <div id="drill" style="display:none"></div>
+<h2 id="ex-h" style="display:none">tail exemplars</h2>
+<table id="ex-table" style="display:none">
+  <thead><tr>
+    <th>run</th><th>path</th><th>captured</th><th>worst latency</th><th>worst span</th><th></th>
+  </tr></thead>
+  <tbody id="exs"></tbody>
+</table>
+<div id="exdrill" style="display:none"></div>
 <div class="footer">
   endpoints: <a href="/api/runs">/api/runs</a> &middot; <a href="/api/incidents">/api/incidents</a> &middot;
+  <a href="/api/exemplars">/api/exemplars</a> &middot;
   <a href="/events">/events</a> &middot;
   <a href="/metrics">/metrics</a> &middot; <a href="/healthz">/healthz</a> &middot;
   <a href="/progress">/progress</a> &middot; <a href="/debug/pprof/">/debug/pprof</a>
@@ -409,6 +437,88 @@ function drillSpark(cv, pts, color, name) {
   cv.title = name + ": last " + fmt(lastOf(pts), 3) + "  min " + fmt(min, 3) + "  max " + fmt(max, 3);
 }
 
+// Tail exemplars: the /api/exemplars listing (one row per run+path with the
+// worst capture) plus a click-to-drill span-waterfall panel.
+var spanColor = {
+  "queue": "#8a8984", "service": "#2a78d6", "meta-fetch": "#b08818",
+  "swap-serial": "#eb6834", "mispredict": "#d03b3b", "other": "#55544f"
+};
+var exemplarRuns = [];
+function fetchExemplars() {
+  fetch("/api/exemplars").then(function (r) { return r.json(); }).then(function (d) {
+    exemplarRuns = d.runs || [];
+    renderExemplars();
+  }).catch(function () {});
+}
+function renderExemplars() {
+  var groups = []; // {run, path, list}
+  exemplarRuns.forEach(function (set) {
+    var byPath = new Map();
+    (set.exemplars || []).forEach(function (e) {
+      if (!byPath.has(e.path)) byPath.set(e.path, []);
+      byPath.get(e.path).push(e);
+    });
+    byPath.forEach(function (list, path) { groups.push({ run: set.run, path: path, list: list }); });
+  });
+  if (!groups.length) return;
+  document.getElementById("ex-h").style.display = "";
+  document.getElementById("ex-table").style.display = "";
+  var tb = document.getElementById("exs");
+  tb.textContent = "";
+  groups.forEach(function (g) {
+    var worst = g.list[0]; // snapshots arrive worst-first per path
+    var dom = "", max = -1;
+    (worst.spans || []).forEach(function (sp) { if (sp.cycles > max) { max = sp.cycles; dom = sp.span; } });
+    var tr = document.createElement("tr");
+    tr.innerHTML =
+      "<td>" + esc(g.run) + "</td><td>" + esc(g.path) + "</td>" +
+      "<td>" + g.list.length + "</td><td>" + worst.latency + "</td>" +
+      "<td>" + esc(dom) + "</td><td>waterfall &rsaquo;</td>";
+    tr.onclick = function () { openExemplarDrill(g); };
+    tb.appendChild(tr);
+  });
+}
+function openExemplarDrill(g) {
+  var d = document.getElementById("exdrill");
+  d.style.display = "";
+  var h = '<span class="close" onclick="document.getElementById(\'exdrill\').style.display=\'none\'">&times; close</span>';
+  h += "<h3>tail exemplars &mdash; " + esc(g.run) + " / " + esc(g.path) + "</h3>";
+  h += '<div class="meta">' + g.list.length + " captured, worst-first &middot; bars are the end-to-end span decomposition; widths proportional to latency " +
+    worstLat(g.list) + " cycles</div>";
+  h += '<div class="legend">spans:';
+  Object.keys(spanColor).forEach(function (k) {
+    h += '<i style="background:' + spanColor[k] + '"></i>' + esc(k);
+  });
+  h += "</div>";
+  var maxLat = worstLat(g.list);
+  g.list.forEach(function (e) {
+    var w = maxLat ? Math.max(2, Math.round(320 * e.latency / maxLat)) : 320;
+    var bar = '<span class="wfbar" style="width:' + w + 'px" title="' + esc(spanTip(e)) + '">';
+    (e.spans || []).forEach(function (sp) {
+      if (!sp.cycles || !e.latency) return;
+      var sw = Math.max(1, Math.round(w * sp.cycles / e.latency));
+      bar += '<i style="width:' + sw + "px;background:" + (spanColor[sp.span] || "#888") + '"></i>';
+    });
+    bar += "</span>";
+    var notes = [];
+    if (e.write) notes.push("write");
+    if (e.complete && e.complete.locked) notes.push(e.complete.lock_home ? "locked-home" : "locked");
+    if (e.issue && !e.issue.row_open) notes.push("row-closed");
+    if (e.issue && e.issue.bank_load > 0) notes.push("bank-load=" + e.issue.bank_load);
+    if ((e.open_incidents || []).length) notes.push("incidents=" + e.open_incidents.join("+"));
+    h += '<div class="wfline"><span class="wfid">lat=' + e.latency + " cyc=" + e.start_cycle +
+      " pa=0x" + e.paddr.toString(16) + "</span>" + bar +
+    '<span class="wfnote">' + esc(notes.join(" ")) + "</span></div>";
+  });
+  d.innerHTML = h;
+  d.scrollIntoView({ behavior: "smooth", block: "nearest" });
+}
+function worstLat(list) { var m = 0; list.forEach(function (e) { if (e.latency > m) m = e.latency; }); return m; }
+function spanTip(e) {
+  return (e.spans || []).filter(function (sp) { return sp.cycles > 0; })
+    .map(function (sp) { return sp.span + "=" + sp.cycles; }).join("  ");
+}
+
 function fetchRuns() {
   fetch("/api/runs").then(function (r) { return r.json(); }).then(function (d) {
     seed(d.runs);
@@ -425,7 +535,7 @@ function connect() {
     seed(JSON.parse(ev.data).runs);
   });
   es.addEventListener("run_start", function () { fetchRuns(); });
-  es.addEventListener("run_done", function () { fetchRuns(); fetchIncidents(); });
+  es.addEventListener("run_done", function () { fetchRuns(); fetchIncidents(); fetchExemplars(); });
   es.addEventListener("epoch", function (ev) {
     var m = JSON.parse(ev.data), e = ent(m.run), ep = m.epoch;
     e.st.pct = ep.pct; e.st.mcyc_per_sec = ep.mcyc_per_sec;
@@ -456,11 +566,13 @@ function poll() {
   polling = true;
   document.getElementById("conn").textContent = "polling /api/runs every 2s (no SSE)";
   fetchRuns();
-  setInterval(function () { fetchRuns(); fetchIncidents(); }, 2000);
+  setInterval(function () { fetchRuns(); fetchIncidents(); fetchExemplars(); }, 2000);
 }
 connect();
 fetchRuns();
 fetchIncidents();
+fetchExemplars();
+setInterval(fetchExemplars, 5000);
 </script>
 </body>
 </html>

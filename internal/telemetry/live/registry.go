@@ -11,6 +11,7 @@ import (
 	"silcfm/internal/mem"
 	"silcfm/internal/stats"
 	"silcfm/internal/telemetry"
+	"silcfm/internal/telemetry/exemplar"
 )
 
 // runState is the latest published snapshot of one run. All fields are
@@ -34,6 +35,12 @@ type runState struct {
 	// Entries are value copies built on the sim goroutine and never mutated
 	// after publish, so readers may share the slice.
 	dram []DramDeviceStatus
+
+	// exemplars is the latest tail-exemplar snapshot (path-grouped,
+	// worst-first). The recorder hands over a freshly built slice each
+	// epoch, so the registry stores it without copying and readers may
+	// share it.
+	exemplars []exemplar.Exemplar
 
 	open           []health.Incident
 	finished       bool
@@ -164,6 +171,49 @@ func (g *Registry) Bundle(id int) *flightrec.Bundle {
 		}
 	}
 	return nil
+}
+
+// SetExemplars replaces run id's tail-exemplar snapshot. Called from the
+// simulation goroutine via exemplar.Config.OnSnapshot; the slice must not
+// be mutated afterwards (the recorder's Snapshot builds a fresh one each
+// call). Nil-safe. A run unknown to the registry is created so exemplars
+// survive even when the publish hook was not installed.
+func (g *Registry) SetExemplars(run string, es []exemplar.Exemplar) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rs := g.runs[run]
+	if rs == nil {
+		rs = &runState{id: run, started: time.Now()}
+		g.runs[run] = rs
+	}
+	rs.exemplars = es
+}
+
+// ExemplarSet is one run's slice of the /api/exemplars body.
+type ExemplarSet struct {
+	Run       string              `json:"run"`
+	Exemplars []exemplar.Exemplar `json:"exemplars"`
+}
+
+// Exemplars returns every run's latest tail-exemplar snapshot in id order;
+// runs that have not published a snapshot are omitted.
+func (g *Registry) Exemplars() []ExemplarSet {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []ExemplarSet
+	for _, rs := range g.sortedLocked() {
+		if rs.exemplars == nil {
+			continue
+		}
+		out = append(out, ExemplarSet{Run: rs.id, Exemplars: rs.exemplars})
+	}
+	return out
 }
 
 // NewRegistry returns an empty run registry.

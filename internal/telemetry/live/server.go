@@ -14,6 +14,7 @@ import (
 	"silcfm/internal/flightrec"
 	"silcfm/internal/health"
 	"silcfm/internal/telemetry"
+	"silcfm/internal/telemetry/exemplar"
 )
 
 // shutdownTimeout bounds how long Close waits for in-flight scrapes and
@@ -48,6 +49,7 @@ func NewWith(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/api/runs", s.handleRuns)
 	mux.HandleFunc("/api/incidents", s.handleIncidents)
 	mux.HandleFunc("/api/incidents/", s.handleIncident)
+	mux.HandleFunc("/api/exemplars", s.handleExemplars)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -114,6 +116,27 @@ func (s *Server) AddBundle(run string, b *flightrec.Bundle) {
 		return
 	}
 	s.reg.AddBundle(run, b)
+}
+
+// SetExemplars replaces hub run id run's tail-exemplar snapshot (the
+// exemplar.Config.OnSnapshot attachment point; see Registry.SetExemplars).
+func (s *Server) SetExemplars(run string, es []exemplar.Exemplar) {
+	if s == nil {
+		return
+	}
+	s.reg.SetExemplars(run, es)
+}
+
+func (s *Server) handleExemplars(w http.ResponseWriter, r *http.Request) {
+	sets := s.reg.Exemplars()
+	if sets == nil {
+		sets = []ExemplarSet{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc, _ := json.MarshalIndent(struct {
+		Runs []ExemplarSet `json:"runs"`
+	}{sets}, "", "  ")
+	w.Write(append(enc, '\n'))
 }
 
 func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
@@ -266,14 +289,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		})
 	writeFamily("silcfm_demand_latency_cycles", "gauge", "Demand-latency percentile bounds per service path.",
 		func(rs *runState) []string {
+			// The worst captured tail exemplar per path annotates that
+			// path's p99 line in OpenMetrics exemplar syntax
+			// ("value # {labels} exemplar_value"), linking the quantile
+			// bound to a concrete access (address + start cycle).
+			worst := map[string]*exemplar.Exemplar{}
+			for i := range rs.exemplars {
+				e := &rs.exemplars[i]
+				if _, ok := worst[e.Path]; !ok {
+					worst[e.Path] = e // snapshots are worst-first per path
+				}
+			}
 			var out []string
 			for _, p := range rs.lat {
 				for _, q := range []struct {
 					q string
 					v uint64
 				}{{"0.5", p.P50}, {"0.95", p.P95}, {"0.99", p.P99}} {
-					out = append(out, fmt.Sprintf("silcfm_demand_latency_cycles{%s,path=\"%s\",quantile=\"%s\"} %s",
-						runLabel(rs), escapeLabel(p.Path), q.q, u(q.v)))
+					line := fmt.Sprintf("silcfm_demand_latency_cycles{%s,path=\"%s\",quantile=\"%s\"} %s",
+						runLabel(rs), escapeLabel(p.Path), q.q, u(q.v))
+					if e := worst[p.Path]; e != nil && q.q == "0.99" {
+						line += fmt.Sprintf(" # {pa=\"0x%x\",cycle=\"%d\"} %s", e.PAddr, e.StartCycle, u(e.Latency))
+					}
+					out = append(out, line)
 				}
 			}
 			return out

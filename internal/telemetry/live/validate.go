@@ -93,11 +93,34 @@ func validateSample(line string) error {
 	if value == "" {
 		return fmt.Errorf("sample missing value")
 	}
+	// An OpenMetrics exemplar annotation may follow the value:
+	// `value # {label="v",...} exemplar_value`.
+	var exemplar string
+	if hash := strings.Index(value, " # "); hash >= 0 {
+		exemplar = strings.TrimSpace(value[hash+3:])
+		value = strings.TrimSpace(value[:hash])
+	}
 	// A timestamp may follow the value; /metrics never emits one, but
 	// accept it per the format.
 	valField := strings.Fields(value)[0]
 	if _, err := strconv.ParseFloat(valField, 64); err != nil {
 		return fmt.Errorf("bad sample value %q", valField)
+	}
+	if exemplar != "" {
+		if len(exemplar) == 0 || exemplar[0] != '{' {
+			return fmt.Errorf("exemplar missing label block")
+		}
+		end, err := validateLabels(exemplar)
+		if err != nil {
+			return fmt.Errorf("exemplar: %w", err)
+		}
+		ev := strings.TrimSpace(exemplar[end:])
+		if ev == "" {
+			return fmt.Errorf("exemplar missing value")
+		}
+		if _, err := strconv.ParseFloat(strings.Fields(ev)[0], 64); err != nil {
+			return fmt.Errorf("bad exemplar value %q", ev)
+		}
 	}
 	return nil
 }

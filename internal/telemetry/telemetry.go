@@ -141,6 +141,16 @@ func (t *T) Profiler() *Profiler {
 	return t.prof
 }
 
+// Tracer returns the attached movement tracer, or nil when tracing was not
+// requested. The harness uses it to inject exemplar span waterfalls after
+// the engine stops, before Finish writes the trace.
+func (t *T) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
 // SetProgress installs the instruction-progress probe used by ProgressW.
 func (t *T) SetProgress(fn func() (done, total uint64)) {
 	if t != nil {

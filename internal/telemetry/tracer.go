@@ -49,6 +49,24 @@ type Tracer struct {
 	n       int    // events currently held (<= len(ring))
 	total   uint64 // events ever observed
 	dropped uint64 // events evicted from the ring
+
+	// Synthetic duration spans injected after the run (exemplar span
+	// waterfalls), each on a named track appended after the per-kind
+	// instant tracks. Bounded; overflow is counted.
+	spanTracks  []string
+	spans       []spanEvent
+	spanDropped uint64
+}
+
+// MaxExtraSpans bounds the injected duration-span list.
+const MaxExtraSpans = 8192
+
+// spanEvent is one injected duration span ("X" complete event).
+type spanEvent struct {
+	track      int
+	name       string
+	start, dur uint64
+	args       map[string]any
 }
 
 // NewTracer builds a tracer holding at most limit events (oldest dropped).
@@ -111,6 +129,30 @@ func (t *Tracer) Unlock(frame, block uint64) {
 // Events reports (recorded, dropped) counts.
 func (t *Tracer) Events() (total, dropped uint64) { return t.total, t.dropped }
 
+// AddSpan injects a synthetic duration span on the named track (created on
+// first use, after the per-kind instant tracks). Used after the run to lay
+// exemplar span waterfalls into the trace; args keys must be fixed per call
+// site so output stays byte-deterministic. Spans past MaxExtraSpans are
+// counted as dropped.
+func (t *Tracer) AddSpan(track, name string, start, dur uint64, args map[string]any) {
+	if len(t.spans) >= MaxExtraSpans {
+		t.spanDropped++
+		return
+	}
+	tid := -1
+	for i, tr := range t.spanTracks {
+		if tr == track {
+			tid = i
+			break
+		}
+	}
+	if tid < 0 {
+		tid = len(t.spanTracks)
+		t.spanTracks = append(t.spanTracks, track)
+	}
+	t.spans = append(t.spans, spanEvent{track: tid, name: name, start: start, dur: dur, args: args})
+}
+
 func locStr(l mem.Location) string {
 	lv := "NM"
 	if l.Level == stats.FM {
@@ -119,11 +161,13 @@ func locStr(l mem.Location) string {
 	return fmt.Sprintf("%s:0x%x", lv, l.DevAddr)
 }
 
-// traceEvent is the Chrome trace-event JSON shape (instant events).
+// traceEvent is the Chrome trace-event JSON shape (instant and complete
+// events).
 type traceEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
@@ -181,6 +225,11 @@ func (t *Tracer) Write(w io.Writer) error {
 		emit(&traceEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: k,
 			Args: map[string]any{"name": evNames[k]}})
 	}
+	// Name the injected span tracks, after the per-kind tids.
+	for i, tr := range t.spanTracks {
+		emit(&traceEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: numEvKinds + i,
+			Args: map[string]any{"name": tr}})
+	}
 	// Ring in arrival order: [next, len) then [0, next) once wrapped.
 	for i := 0; i < t.n; i++ {
 		e := &t.ring[(t.next+i)%len(t.ring)]
@@ -189,7 +238,16 @@ func (t *Tracer) Write(w io.Writer) error {
 			S: "t", Args: argsOf(e),
 		})
 	}
-	fmt.Fprintf(bw, "\n],\"otherData\":{\"events\":%d,\"dropped\":%d}}\n", t.total, t.dropped)
+	// Injected duration spans, in insertion order.
+	for i := range t.spans {
+		sp := &t.spans[i]
+		emit(&traceEvent{
+			Name: sp.name, Ph: "X", Ts: sp.start, Dur: sp.dur, Pid: 0,
+			Tid: numEvKinds + sp.track, Args: sp.args,
+		})
+	}
+	fmt.Fprintf(bw, "\n],\"otherData\":{\"events\":%d,\"dropped\":%d,\"spans\":%d,\"spans_dropped\":%d}}\n",
+		t.total, t.dropped, len(t.spans), t.spanDropped)
 	return bw.err
 }
 

@@ -128,6 +128,59 @@ func check(client *http.Client, base string) error {
 			return fmt.Errorf("/metrics: missing family %s", family)
 		}
 	}
+	metricsBody := string(body)
+
+	// /api/exemplars: the hub's tail-exemplar store. Every exemplar's span
+	// decomposition must sum exactly to its end-to-end latency (the
+	// zero-residual invariant), and the worst one per path must annotate
+	// that path's p99 line on /metrics in OpenMetrics exemplar syntax.
+	body, err = fetch(client, base+"/api/exemplars", http.StatusOK)
+	if err != nil {
+		return err
+	}
+	var exs struct {
+		Runs []live.ExemplarSet `json:"runs"`
+	}
+	if err := json.Unmarshal(body, &exs); err != nil {
+		return fmt.Errorf("/api/exemplars: %w", err)
+	}
+	captured := 0
+	for _, set := range exs.Runs {
+		if set.Run == "" {
+			return fmt.Errorf("/api/exemplars: set with empty run id")
+		}
+		for i := range set.Exemplars {
+			e := &set.Exemplars[i]
+			captured++
+			if e.Path == "" {
+				return fmt.Errorf("/api/exemplars: run %q exemplar %d has no path", set.Run, i)
+			}
+			var sum uint64
+			for _, sp := range e.Spans {
+				if sp.Span == "" {
+					return fmt.Errorf("/api/exemplars: run %q exemplar %d has an unnamed span", set.Run, i)
+				}
+				sum += sp.Cycles
+			}
+			if sum != e.Latency {
+				return fmt.Errorf("/api/exemplars: run %q exemplar %d: span sum %d != latency %d",
+					set.Run, i, sum, e.Latency)
+			}
+			if e.CompleteCycle-e.StartCycle != e.Latency {
+				return fmt.Errorf("/api/exemplars: run %q exemplar %d: complete-start %d != latency %d",
+					set.Run, i, e.CompleteCycle-e.StartCycle, e.Latency)
+			}
+		}
+	}
+	if captured == 0 {
+		return fmt.Errorf("/api/exemplars: no tail exemplars captured")
+	}
+	if !strings.Contains(metricsBody, `quantile="0.99"`) {
+		return fmt.Errorf("/metrics: no demand-latency quantile lines")
+	}
+	if !strings.Contains(metricsBody, ` # {pa="0x`) {
+		return fmt.Errorf("/metrics: no OpenMetrics exemplar annotation on the latency quantile family")
+	}
 
 	// /healthz: well-formed JSON with at least one run. 200 and 503 are
 	// both valid server states (an open incident is not a livecheck

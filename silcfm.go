@@ -31,6 +31,7 @@ import (
 	"silcfm/internal/manifest"
 	"silcfm/internal/stats"
 	"silcfm/internal/telemetry"
+	"silcfm/internal/telemetry/exemplar"
 	"silcfm/internal/telemetry/live"
 	"silcfm/internal/workload"
 )
@@ -192,6 +193,19 @@ type Options struct {
 	// exactly that, and for shaving its fixed ring-buffer footprint.
 	DisableFlightrec bool
 
+	// ExemplarsOut writes every captured tail exemplar — the worst-K
+	// slowest demand accesses per service path, with their full span
+	// decomposition and issue/completion context — as JSONL at end of run.
+	// The recorder itself is always on (see DisableExemplars); this only
+	// selects the file output. Report.Exemplars and the manifest carry the
+	// per-path summary regardless.
+	ExemplarsOut string
+	// DisableExemplars turns the tail-exemplar recorder off entirely
+	// (internal/telemetry/exemplar). Like the flight recorder it is inert —
+	// cycles, counters and manifests are byte-identical either way — so the
+	// switch exists for proving exactly that.
+	DisableExemplars bool
+
 	// Live attaches this run to a live observability server (see Serve):
 	// every telemetry epoch publishes a snapshot, and the run is marked
 	// done (with its final incident list) when it completes. RunID names
@@ -245,6 +259,17 @@ type Report struct {
 	// TopOffenders is the rendered hottest-blocks / hottest-PCs tables when
 	// Options.ProfileTopK was set.
 	TopOffenders string `json:"top_offenders,omitempty"`
+
+	// Exemplars summarizes the tail-exemplar reservoirs: per service path,
+	// the number of captured worst-K accesses and the identity of the very
+	// slowest one. Byte-deterministic for a fixed seed, like every counter.
+	// Full exemplar records (span waterfalls, issue/completion context) go
+	// to Options.ExemplarsOut as JSONL.
+	Exemplars []ExemplarSummary `json:"exemplars,omitempty"`
+
+	// TailExemplars is the rendered per-path exemplar waterfall table
+	// ("tail exemplars:"), printed by silcfm-sim under the latency lines.
+	TailExemplars string `json:"tail_exemplars,omitempty"`
 
 	// Health lists the incidents the online health detector observed
 	// (swap-thrash, bypass oscillation, lock churn, queue saturation,
@@ -309,10 +334,23 @@ type PathLatency struct {
 	Path  string  `json:"path"`
 	Count uint64  `json:"count"`
 	Mean  float64 `json:"mean"`
-	// P50/P95/P99 are percentile bounds in cycles (bucket upper edges).
+	// P50/P95/P99 are percentile bounds in cycles (bucket upper edges);
+	// Max is the exact worst observed latency.
 	P50 uint64 `json:"p50"`
 	P95 uint64 `json:"p95"`
 	P99 uint64 `json:"p99"`
+	Max uint64 `json:"max"`
+}
+
+// ExemplarSummary is one service path's tail-exemplar reservoir reduced to
+// its manifest leaf: occupancy plus the slowest access's identity.
+type ExemplarSummary struct {
+	Path         string `json:"path"`
+	Count        int    `json:"count"`
+	WorstLatency uint64 `json:"worst_latency"`
+	WorstStart   uint64 `json:"worst_start"`
+	WorstBlock   uint64 `json:"worst_block"`
+	WorstSpan    string `json:"worst_span"`
 }
 
 // SpeedupOver returns base.Cycles / r.Cycles, the paper's figure of merit.
@@ -430,6 +468,9 @@ func runResult(o Options) (*harness.Result, error) {
 	if o.DisableFlightrec {
 		spec.Flightrec = &flightrec.Config{Disabled: true}
 	}
+	if o.DisableExemplars {
+		spec.Exemplars = &exemplar.Config{Disabled: true}
+	}
 	var res *harness.Result
 	if o.Live != nil {
 		id := o.RunID
@@ -444,6 +485,15 @@ func runResult(o Options) (*harness.Result, error) {
 			hub := o.Live
 			spec.Flightrec = &flightrec.Config{
 				OnBundle: func(b *flightrec.Bundle) { hub.AddBundle(id, b) },
+			}
+		}
+		if !o.DisableExemplars {
+			// Publish each epoch's tail-exemplar snapshot into the hub's
+			// store; snapshots are freshly built and immutable, so sharing
+			// them across goroutines is race-free.
+			hub := o.Live
+			spec.Exemplars = &exemplar.Config{
+				OnSnapshot: func(es []exemplar.Exemplar) { hub.SetExemplars(id, es) },
 			}
 		}
 		defer func() {
@@ -469,6 +519,11 @@ func runResult(o Options) (*harness.Result, error) {
 	if o.PostmortemOut != "" {
 		if _, perr := flightrec.WriteDir(o.PostmortemOut, res.Bundles); perr != nil {
 			return nil, fmt.Errorf("silcfm: postmortem output: %w", perr)
+		}
+	}
+	if o.ExemplarsOut != "" {
+		if eerr := writeExemplarsOut(o.ExemplarsOut, res.Exemplars); eerr != nil {
+			return nil, eerr
 		}
 	}
 	if res.AuditErr != nil {
@@ -541,6 +596,22 @@ func (o Options) telemetryConfig() (*telemetry.Config, func() error, error) {
 		return first
 	}
 	return cfg, cleanup, nil
+}
+
+// writeExemplarsOut writes the tail-exemplar JSONL file (Options.ExemplarsOut).
+func writeExemplarsOut(path string, es []exemplar.Exemplar) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("silcfm: %w", err)
+	}
+	werr := exemplar.WriteJSONL(f, es)
+	if cerr := f.Close(); werr == nil && cerr != nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("silcfm: exemplar output: %w", werr)
+	}
+	return nil
 }
 
 // writeHealthOut writes the incident JSONL file (Options.HealthOut).
@@ -616,8 +687,27 @@ func reportOf(res *harness.Result, topK int) *Report {
 	if topK > 0 && res.Profile != nil {
 		r.TopOffenders = res.Profile.TopOffenders(topK)
 	}
+	if len(res.Exemplars) > 0 {
+		for _, s := range exemplar.Summarize(res.Exemplars) {
+			r.Exemplars = append(r.Exemplars, ExemplarSummary{
+				Path:         s.Path,
+				Count:        s.Count,
+				WorstLatency: s.WorstLatency,
+				WorstStart:   s.WorstStart,
+				WorstBlock:   s.WorstBlock,
+				WorstSpan:    s.WorstSpan,
+			})
+		}
+		var b strings.Builder
+		exemplar.RenderWaterfall(&b, res.Exemplars, reportWaterfallTop)
+		r.TailExemplars = b.String()
+	}
 	return r
 }
+
+// reportWaterfallTop bounds the exemplars rendered per path in
+// Report.TailExemplars; the full reservoirs go to Options.ExemplarsOut.
+const reportWaterfallTop = 4
 
 func pathSpans(res *harness.Result) []PathSpans {
 	if res.Attr == nil {
@@ -648,7 +738,7 @@ func pathLatencies(res *harness.Result) []PathLatency {
 	for _, s := range res.Lat.Summaries() {
 		out = append(out, PathLatency{
 			Path: s.Path, Count: s.Count, Mean: s.Mean,
-			P50: s.P50, P95: s.P95, P99: s.P99,
+			P50: s.P50, P95: s.P95, P99: s.P99, Max: s.Max,
 		})
 	}
 	return out
